@@ -1,0 +1,180 @@
+//! Criterion benchmarks: simulator throughput and the per-experiment
+//! kernels, sized down so a full `cargo bench` stays in minutes.
+//!
+//! Wall-clock here measures *the simulator*, not the modeled silicon; the
+//! modeled results live in the `experiments` binary / EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audo_ed::{EdConfig, EmulationDevice};
+use audo_mcds::msg::{decode_stream, Encoder, TraceMessage};
+use audo_platform::config::SocConfig;
+use audo_platform::Soc;
+use audo_profiler::metrics::Metric;
+use audo_profiler::session::{profile, SessionOptions};
+use audo_profiler::spec::ProfileSpec;
+use audo_workloads::engine::{engine_control, EngineParams};
+use audo_workloads::micro::{mac_kernel, table_chase};
+
+/// Raw simulation speed: cycles simulated per wall-second, production mode
+/// (observation off) vs emulation mode (events on).
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    let w = mac_kernel(50_000);
+    g.bench_function("production_mode_200k_cycles", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(SocConfig::default());
+            soc.set_observation(false);
+            w.install(&mut soc).unwrap();
+            black_box(soc.run_to_halt(w.max_cycles).unwrap())
+        });
+    });
+    g.bench_function("emulation_mode_200k_cycles", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(SocConfig::default());
+            w.install(&mut soc).unwrap();
+            let mut n = 0u64;
+            soc.run(w.max_cycles, |obs| n += obs.events.len() as u64)
+                .unwrap();
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+/// E2/E3 kernel: a full profiling session with four parallel metrics.
+fn profiling_session(c: &mut Criterion) {
+    let params = EngineParams {
+        rpm: 12_000,
+        target_teeth: 10,
+        target_bg_passes: 8,
+        ..EngineParams::default()
+    };
+    let w = engine_control(&params);
+    c.bench_function("e3_profiling_session_small", |b| {
+        b.iter(|| {
+            let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+            w.install_ed(&mut ed).unwrap();
+            let spec = ProfileSpec::new()
+                .metric(Metric::Ipc, 1000)
+                .metric(Metric::IcacheMissPerInstr, 1000)
+                .metric(Metric::DcacheMissPerInstr, 1000)
+                .metric(Metric::InterruptsPerKilocycle, 1000);
+            let out = profile(
+                &mut ed,
+                &spec,
+                &SessionOptions {
+                    max_cycles: w.max_cycles,
+                    ..SessionOptions::default()
+                },
+            )
+            .unwrap();
+            black_box(out.produced_bytes)
+        });
+    });
+}
+
+/// E6 kernel: one architecture-option replay (the unit of the sweep).
+fn option_replay(c: &mut Criterion) {
+    let w = table_chase(16, 1_000, true);
+    c.bench_function("e6_option_replay_chase", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(SocConfig::default());
+            soc.set_observation(false);
+            w.install(&mut soc).unwrap();
+            black_box(soc.run_to_halt(w.max_cycles).unwrap())
+        });
+    });
+}
+
+/// E9 kernel: trace message encode + decode round trip.
+fn trace_codec(c: &mut Criterion) {
+    use audo_common::{Cycle, SourceId};
+    let mut enc = Encoder::new();
+    let mut bytes = Vec::new();
+    for i in 0..10_000u64 {
+        enc.emit(
+            Cycle(i * 3),
+            &TraceMessage::FlowDirect {
+                source: SourceId::TRICORE,
+                icnt: (i % 50) as u32 + 1,
+            },
+            &mut bytes,
+        );
+        if i % 16 == 0 {
+            enc.emit(
+                Cycle(i * 3 + 1),
+                &TraceMessage::Counter {
+                    probe: 2,
+                    num: i % 997,
+                    den: 1000,
+                },
+                &mut bytes,
+            );
+        }
+    }
+    c.bench_function("e9_decode_10k_messages", |b| {
+        b.iter(|| black_box(decode_stream(black_box(&bytes)).unwrap().len()));
+    });
+}
+
+/// Assembler throughput on the generated engine application.
+fn assembler(c: &mut Criterion) {
+    let src = audo_workloads::engine::generate_source(&EngineParams::default());
+    c.bench_function("assemble_engine_application", |b| {
+        b.iter(|| black_box(audo_tricore::asm::assemble(black_box(&src)).unwrap().size()));
+    });
+}
+
+/// MCDS observation cost per cycle: 8 probes fed a synthetic event mix.
+fn mcds_observe(c: &mut Criterion) {
+    use audo_common::{Cycle, EventRecord, PerfEvent, SourceId};
+    use audo_mcds::select::{EventClass, EventSelector};
+    use audo_mcds::{Basis, Mcds, RateProbe};
+    c.bench_function("mcds_observe_100k_cycles_8_probes", |b| {
+        b.iter(|| {
+            let mut builder = Mcds::builder();
+            for i in 0..8u32 {
+                builder = builder.probe(RateProbe {
+                    event: EventSelector::of(if i % 2 == 0 {
+                        EventClass::InstrRetired
+                    } else {
+                        EventClass::IcacheMiss
+                    }),
+                    basis: Basis::Cycles(1000),
+                    group: None,
+                });
+            }
+            let mut mcds = builder.build().unwrap();
+            let mut out = Vec::new();
+            for cy in 0..100_000u64 {
+                let events = [
+                    EventRecord {
+                        cycle: Cycle(cy),
+                        source: SourceId::TRICORE,
+                        event: PerfEvent::InstrRetired {
+                            count: (cy % 3) as u8,
+                        },
+                    },
+                    EventRecord {
+                        cycle: Cycle(cy),
+                        source: SourceId::TRICORE,
+                        event: PerfEvent::CacheHit {
+                            cache: audo_common::events::CacheId::Instruction,
+                        },
+                    },
+                ];
+                mcds.observe(Cycle(cy), &events, &[], &mut out);
+            }
+            black_box(out.len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sim_throughput, profiling_session, option_replay, trace_codec, assembler, mcds_observe
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Runs all experiments (E1–E12) and prints the combined report — the
+//! generator for EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p audo-bench --bin experiments
+//! ```
+
+fn main() {
+    let start = std::time::Instant::now();
+    match audo_bench::run_all() {
+        Ok(reports) => {
+            let total: usize = reports.iter().map(|r| r.checks.len()).sum();
+            let passed: usize = reports
+                .iter()
+                .map(|r| r.checks.iter().filter(|c| c.pass).count())
+                .sum();
+            for r in &reports {
+                print!("{}", r.render());
+            }
+            println!("---");
+            println!(
+                "{passed}/{total} checks passed across {} experiments in {:.1}s",
+                reports.len(),
+                start.elapsed().as_secs_f64()
+            );
+            if passed != total {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

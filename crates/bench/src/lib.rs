@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every figure/claim of the paper.
+//!
+//! The paper (a methodology paper) has no numbered result tables; its five
+//! figures are architecture and methodology diagrams and §5 carries worked
+//! numeric examples and quantitative claims. DESIGN.md maps each onto the
+//! experiments E1–E12 implemented here. Each experiment returns a
+//! [`report::Report`] with rendered results and machine-checkable claims,
+//! shared between the `experiments` binary (prints everything for
+//! EXPERIMENTS.md), the integration tests, and the Criterion benches.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::{Check, Report};

@@ -1,0 +1,101 @@
+//! Uniform experiment reports: human-readable lines plus machine-checkable
+//! pass/fail assertions, consumed by the `experiments` binary (which
+//! regenerates EXPERIMENTS.md) and by the integration tests.
+
+/// One verifiable claim of an experiment.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is asserted.
+    pub what: String,
+    /// Whether the measurement satisfied it.
+    pub pass: bool,
+}
+
+/// A rendered experiment.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (`E1`..`E12`).
+    pub id: &'static str,
+    /// Title (the paper anchor).
+    pub title: String,
+    /// Report body lines.
+    pub lines: Vec<String>,
+    /// Pass/fail claims.
+    pub checks: Vec<Check>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(id: &'static str, title: impl Into<String>) -> Report {
+        Report {
+            id,
+            title: title.into(),
+            lines: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Appends a body line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Records a claim.
+    pub fn check(&mut self, what: impl Into<String>, pass: bool) {
+        self.checks.push(Check {
+            what: what.into(),
+            pass,
+        });
+    }
+
+    /// `true` when every claim held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Renders the report as markdown-ish text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let _ = writeln!(out);
+        for l in &self.lines {
+            let _ = writeln!(out, "{l}");
+        }
+        let _ = writeln!(out);
+        for c in &self.checks {
+            let _ = writeln!(out, "- [{}] {}", if c.pass { "x" } else { " " }, c.what);
+        }
+        let _ = writeln!(out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_checks_and_lines() {
+        let mut r = Report::new("E0", "demo");
+        r.line("alpha");
+        r.check("good", true);
+        r.check("bad", false);
+        assert!(!r.passed());
+        let s = r.render();
+        assert!(s.contains("## E0 — demo"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("- [x] good"));
+        assert!(s.contains("- [ ] bad"));
+    }
+
+    #[test]
+    fn empty_report_passes() {
+        let r = Report::new("E0", "empty");
+        assert!(r.passed());
+        assert!(r.render().contains("E0"));
+    }
+}

@@ -1,0 +1,108 @@
+//! The workspace-wide simulation error type.
+
+use std::fmt;
+
+use crate::types::Addr;
+
+/// Errors surfaced by the simulation stack.
+///
+/// Each crate converts its domain-specific failures into this type at its
+/// public boundary, so downstream code deals with a single error enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A memory access targeted an unmapped address.
+    UnmappedAddress { addr: Addr },
+    /// A memory access was misaligned for its width.
+    MisalignedAccess { addr: Addr, size: u8 },
+    /// An instruction word could not be decoded.
+    DecodeInstr { addr: Addr, word: u32 },
+    /// Program assembly failed.
+    Assemble { line: usize, message: String },
+    /// A configuration value is invalid.
+    InvalidConfig { message: String },
+    /// MCDS resource allocation failed (not enough counters/comparators).
+    ResourceExhausted {
+        resource: &'static str,
+        requested: usize,
+        available: usize,
+    },
+    /// The trace stream could not be decoded.
+    DecodeTrace { offset: usize, message: String },
+    /// A simulation limit was exceeded (runaway program guard).
+    LimitExceeded { what: &'static str, limit: u64 },
+    /// The target program signalled failure (e.g. failed self-check).
+    ProgramFault { message: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnmappedAddress { addr } => {
+                write!(f, "access to unmapped address {addr}")
+            }
+            SimError::MisalignedAccess { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr}")
+            }
+            SimError::DecodeInstr { addr, word } => {
+                write!(f, "cannot decode instruction word {word:#010x} at {addr}")
+            }
+            SimError::Assemble { line, message } => {
+                write!(f, "assembly error at line {line}: {message}")
+            }
+            SimError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
+            SimError::ResourceExhausted {
+                resource,
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "not enough MCDS {resource}: requested {requested}, available {available}"
+                )
+            }
+            SimError::DecodeTrace { offset, message } => {
+                write!(f, "trace decode error at byte {offset}: {message}")
+            }
+            SimError::LimitExceeded { what, limit } => {
+                write!(f, "simulation limit exceeded: {what} > {limit}")
+            }
+            SimError::ProgramFault { message } => {
+                write!(f, "target program fault: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SimError::UnmappedAddress { addr: Addr(0x1234) };
+        assert!(e.to_string().contains("0x00001234"));
+        let e = SimError::ResourceExhausted {
+            resource: "counters",
+            requested: 9,
+            available: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("counters") && s.contains('9') && s.contains('8'));
+        let e = SimError::Assemble {
+            line: 3,
+            message: "unknown mnemonic".into(),
+        };
+        assert!(e.to_string().starts_with("assembly error at line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,458 @@
+//! The performance-event taxonomy and the event transport between the
+//! product-chip components and the observation hardware (MCDS).
+//!
+//! Mayer & Hellwig (DATE 2008, §3/§5) list the event sources the AUDO FUTURE
+//! MCDS can tap directly: cache hits/misses, bus contentions, flash
+//! read/pre-fetch buffer hits, CPU access rates to flash/SRAM/scratchpads,
+//! executed instructions (for IPC), interrupt activity. [`PerfEvent`] is the
+//! simulation-side equivalent: every component of the simulated SoC emits
+//! these events into an [`EventSink`] as it executes, *without changing its
+//! own behaviour* — the measurement is non-intrusive by construction, just
+//! as on the real Emulation Device.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Addr, Cycle};
+
+/// Identifies which hardware block emitted an event.
+///
+/// # Examples
+///
+/// ```
+/// use audo_common::SourceId;
+/// assert_eq!(SourceId::TRICORE.to_string(), "TriCore");
+/// assert_ne!(SourceId::TRICORE, SourceId::PCP);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceId(pub u8);
+
+impl SourceId {
+    /// The TriCore main CPU.
+    pub const TRICORE: SourceId = SourceId(0);
+    /// The Peripheral Control Processor.
+    pub const PCP: SourceId = SourceId(1);
+    /// The DMA controller.
+    pub const DMA: SourceId = SourceId(2);
+    /// The system crossbar (LMB-class bus).
+    pub const BUS: SourceId = SourceId(3);
+    /// The program memory unit (embedded flash and its buffers).
+    pub const PMU: SourceId = SourceId(4);
+    /// The interrupt router.
+    pub const IRQ: SourceId = SourceId(5);
+    /// Peripherals (timers, ADC, CAN).
+    pub const PERIPH: SourceId = SourceId(6);
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SourceId::TRICORE => f.write_str("TriCore"),
+            SourceId::PCP => f.write_str("PCP"),
+            SourceId::DMA => f.write_str("DMA"),
+            SourceId::BUS => f.write_str("Bus"),
+            SourceId::PMU => f.write_str("PMU"),
+            SourceId::IRQ => f.write_str("IRQ"),
+            SourceId::PERIPH => f.write_str("Periph"),
+            SourceId(n) => write!(f, "Source{n}"),
+        }
+    }
+}
+
+/// Read/write/fetch discriminator for memory transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    Fetch,
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Fetch => f.write_str("fetch"),
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// Which cache an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheId {
+    /// The TriCore instruction cache.
+    Instruction,
+    /// The TriCore data cache.
+    Data,
+}
+
+impl fmt::Display for CacheId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheId::Instruction => f.write_str("I-cache"),
+            CacheId::Data => f.write_str("D-cache"),
+        }
+    }
+}
+
+/// Why a CPU pipeline produced no retirement in a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallReason {
+    /// Waiting on instruction fetch (I-cache miss, flash wait states).
+    Fetch,
+    /// Waiting on a data access (D-cache miss, bus, peripheral latency).
+    Data,
+    /// Waiting on a busy execution unit (multiply/divide in flight).
+    Execute,
+    /// Pipeline refill after a taken branch or mispredict.
+    Branch,
+    /// Context save/restore traffic (CALL/RET/interrupt entry).
+    Context,
+    /// Store buffer full.
+    StoreBuffer,
+    /// Core is in the idle/wait-for-interrupt state.
+    Idle,
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StallReason::Fetch => "fetch",
+            StallReason::Data => "data",
+            StallReason::Execute => "execute",
+            StallReason::Branch => "branch",
+            StallReason::Context => "context",
+            StallReason::StoreBuffer => "store-buffer",
+            StallReason::Idle => "idle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory regions distinguished by the access-rate statistics of §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemRegion {
+    /// Program flash (through the PMU).
+    PFlash,
+    /// Data flash (EEPROM emulation).
+    DFlash,
+    /// System SRAM (LMU-class).
+    Sram,
+    /// Program scratchpad RAM.
+    Pspr,
+    /// Data scratchpad RAM.
+    Dspr,
+    /// Emulation memory overlay (calibration).
+    Emem,
+    /// Peripheral register space.
+    Periph,
+}
+
+impl fmt::Display for MemRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemRegion::PFlash => "PFlash",
+            MemRegion::DFlash => "DFlash",
+            MemRegion::Sram => "SRAM",
+            MemRegion::Pspr => "PSPR",
+            MemRegion::Dspr => "DSPR",
+            MemRegion::Emem => "EMEM",
+            MemRegion::Periph => "Periph",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The kind of control-flow discontinuity, as seen by the program-trace unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowKind {
+    /// A taken direct branch (target statically known).
+    BranchTaken,
+    /// An indirect branch or call (target only known dynamically).
+    Indirect,
+    /// A call (direct).
+    Call,
+    /// A return.
+    Return,
+    /// Interrupt or trap entry.
+    Exception,
+    /// Return from exception.
+    ExceptionReturn,
+}
+
+/// A performance-relevant hardware event.
+///
+/// Components emit these into an [`EventSink`] every cycle as a side effect
+/// of simulation; the MCDS observation blocks (crate `audo-mcds`) consume
+/// them. The taxonomy deliberately matches the measurable quantities in the
+/// paper: anything the Enhanced System Profiling methodology can turn into a
+/// *rate* is an event here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PerfEvent {
+    /// `count` instructions retired this cycle (0..=3 on the TriCore-class
+    /// core; the tri-issue pipeline can retire up to three).
+    InstrRetired { count: u8 },
+    /// A control-flow discontinuity retired: execution continued at `to`.
+    FlowChange {
+        kind: FlowKind,
+        from: Addr,
+        to: Addr,
+    },
+    /// A conditional branch retired untaken (needed for trace reconstruction).
+    BranchNotTaken { at: Addr },
+    /// Cache lookup hit.
+    CacheHit { cache: CacheId },
+    /// Cache lookup miss (a line fill follows).
+    CacheMiss { cache: CacheId },
+    /// A CPU data-side access classified by target memory region.
+    DataAccess { region: MemRegion, kind: AccessKind },
+    /// A code fetch reached the flash (missed all caches/buffers in front).
+    FlashCodeFetch,
+    /// A flash access was served from a read/pre-fetch buffer.
+    FlashBufferHit { port: FlashPort },
+    /// A flash access missed the read buffers and paid wait states.
+    FlashBufferMiss { port: FlashPort },
+    /// The flash prefetcher initiated a speculative line read.
+    FlashPrefetch,
+    /// Arbitration conflict between flash code and data ports; the loser
+    /// waited `waited` cycles.
+    FlashPortConflict { loser: FlashPort, waited: u8 },
+    /// A bus master had to wait `waited` cycles for a busy slave.
+    BusContention { master: SourceId, waited: u8 },
+    /// A bus transaction was granted.
+    BusGrant { master: SourceId },
+    /// A service request was raised by a peripheral (`srn` index).
+    IrqRaised { srn: u8, prio: u8 },
+    /// The CPU accepted an interrupt of priority `prio`.
+    IrqTaken { prio: u8 },
+    /// The DMA controller moved one beat of data.
+    DmaBeat { channel: u8 },
+    /// A DMA transaction (descriptor) completed.
+    DmaDone { channel: u8 },
+    /// The PCP switched execution to channel `channel`.
+    PcpChannelStart { channel: u8 },
+    /// The PCP finished the program of channel `channel`.
+    PcpChannelExit { channel: u8 },
+    /// A pipeline produced no retirement this cycle for the given reason.
+    Stall { reason: StallReason },
+    /// A data value was written to memory (for qualified data trace).
+    DataValue {
+        addr: Addr,
+        value: u32,
+        kind: AccessKind,
+        size: u8,
+    },
+    /// The core executed a DEBUG instruction (software trigger).
+    DebugMarker { code: u8 },
+}
+
+/// Which of the two flash request ports an event refers to.
+///
+/// The paper singles out "arbitration between the code and data ports of the
+/// flash" as part of the complex CPU→flash path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlashPort {
+    /// Instruction-fetch port.
+    Code,
+    /// Data port.
+    Data,
+}
+
+impl fmt::Display for FlashPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashPort::Code => f.write_str("code"),
+            FlashPort::Data => f.write_str("data"),
+        }
+    }
+}
+
+/// A timestamped, attributed event record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// When the event occurred.
+    pub cycle: Cycle,
+    /// Which block emitted it.
+    pub source: SourceId,
+    /// The event itself.
+    pub event: PerfEvent,
+}
+
+/// A bus transaction as observed by the MCDS bus observation block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusTransaction {
+    /// When the transaction was granted.
+    pub cycle: Cycle,
+    /// The requesting master.
+    pub master: SourceId,
+    /// Target address.
+    pub addr: Addr,
+    /// Read/write/fetch.
+    pub kind: AccessKind,
+    /// Transfer width in bytes.
+    pub size: u8,
+}
+
+/// Collects [`EventRecord`]s emitted by SoC components during one or more
+/// cycles.
+///
+/// The sink is drained once per cycle by the platform and handed to the
+/// observation hardware. A disabled sink drops events with near-zero cost,
+/// which models a production SoC without the Emulation Extension Chip.
+///
+/// # Examples
+///
+/// ```
+/// use audo_common::{Cycle, EventSink, PerfEvent, SourceId};
+///
+/// let mut sink = EventSink::new();
+/// sink.emit(Cycle(1), SourceId::TRICORE, PerfEvent::FlashCodeFetch);
+/// let drained = sink.drain();
+/// assert_eq!(drained.len(), 1);
+/// assert!(sink.records().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventSink {
+    records: Vec<EventRecord>,
+    enabled: bool,
+}
+
+impl EventSink {
+    /// Creates an enabled sink.
+    #[must_use]
+    pub fn new() -> EventSink {
+        EventSink {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a sink that drops all events (production SoC, no EEC).
+    #[must_use]
+    pub fn disabled() -> EventSink {
+        EventSink {
+            records: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Returns whether the sink currently stores events.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables event collection.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records an event, if enabled.
+    #[inline]
+    pub fn emit(&mut self, cycle: Cycle, source: SourceId, event: PerfEvent) {
+        if self.enabled {
+            self.records.push(EventRecord {
+                cycle,
+                source,
+                event,
+            });
+        }
+    }
+
+    /// Returns the events collected since the last drain.
+    #[must_use]
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    /// Removes and returns all collected events.
+    pub fn drain(&mut self) -> Vec<EventRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Clears collected events without returning them.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_collects_when_enabled() {
+        let mut sink = EventSink::new();
+        sink.emit(
+            Cycle(1),
+            SourceId::TRICORE,
+            PerfEvent::InstrRetired { count: 2 },
+        );
+        sink.emit(
+            Cycle(1),
+            SourceId::BUS,
+            PerfEvent::BusGrant {
+                master: SourceId::DMA,
+            },
+        );
+        assert_eq!(sink.records().len(), 2);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].event, PerfEvent::InstrRetired { count: 2 });
+        assert!(sink.records().is_empty());
+    }
+
+    #[test]
+    fn disabled_sink_drops_events() {
+        let mut sink = EventSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.emit(
+            Cycle(1),
+            SourceId::PCP,
+            PerfEvent::PcpChannelStart { channel: 3 },
+        );
+        assert!(sink.records().is_empty());
+        sink.set_enabled(true);
+        sink.emit(
+            Cycle(2),
+            SourceId::PCP,
+            PerfEvent::PcpChannelExit { channel: 3 },
+        );
+        assert_eq!(sink.records().len(), 1);
+    }
+
+    #[test]
+    fn source_id_display_names() {
+        assert_eq!(SourceId::PMU.to_string(), "PMU");
+        assert_eq!(SourceId(42).to_string(), "Source42");
+    }
+
+    #[test]
+    fn event_equality_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(PerfEvent::CacheHit {
+            cache: CacheId::Instruction,
+        });
+        set.insert(PerfEvent::CacheHit {
+            cache: CacheId::Instruction,
+        });
+        set.insert(PerfEvent::CacheHit {
+            cache: CacheId::Data,
+        });
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_impls_nonempty() {
+        assert_eq!(CacheId::Instruction.to_string(), "I-cache");
+        assert_eq!(StallReason::StoreBuffer.to_string(), "store-buffer");
+        assert_eq!(MemRegion::Dspr.to_string(), "DSPR");
+        assert_eq!(FlashPort::Data.to_string(), "data");
+        assert_eq!(AccessKind::Fetch.to_string(), "fetch");
+    }
+}

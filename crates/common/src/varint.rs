@@ -1,0 +1,171 @@
+//! LEB128-style variable-length integer codec used by the trace message
+//! protocol.
+//!
+//! Trace bandwidth is the scarce resource of the whole methodology (the
+//! paper's §5 closes on exactly this point), so every message field that can
+//! be small usually *is* small: instruction counts between flow changes,
+//! cycle deltas between messages, address deltas. Encoding them as varints
+//! is what gives the trace protocol its compression.
+//!
+//! # Examples
+//!
+//! ```
+//! use audo_common::varint;
+//!
+//! let mut buf = Vec::new();
+//! varint::write_u64(&mut buf, 300);
+//! let (value, used) = varint::read_u64(&buf).expect("valid varint");
+//! assert_eq!(value, 300);
+//! assert_eq!(used, 2);
+//! ```
+
+/// Error returned when decoding a malformed or truncated varint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeVarintError;
+
+impl std::fmt::Display for DecodeVarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("truncated or overlong varint")
+    }
+}
+
+impl std::error::Error for DecodeVarintError {}
+
+/// Appends `value` to `buf` as an unsigned LEB128 varint.
+pub fn write_u64(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` to `buf` as a zigzag-encoded signed varint.
+pub fn write_i64(buf: &mut Vec<u8>, value: i64) {
+    write_u64(buf, zigzag(value));
+}
+
+/// Decodes an unsigned varint from the front of `buf`.
+///
+/// Returns the decoded value and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`DecodeVarintError`] if `buf` is empty, ends mid-varint, or the
+/// varint is longer than 10 bytes (would overflow `u64`).
+pub fn read_u64(buf: &[u8]) -> Result<(u64, usize), DecodeVarintError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= 10 {
+            return Err(DecodeVarintError);
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(DecodeVarintError)
+}
+
+/// Decodes a zigzag-encoded signed varint from the front of `buf`.
+///
+/// # Errors
+///
+/// Same conditions as [`read_u64`].
+pub fn read_i64(buf: &[u8]) -> Result<(i64, usize), DecodeVarintError> {
+    let (raw, used) = read_u64(buf)?;
+    Ok((unzigzag(raw), used))
+}
+
+/// Returns the encoded length of `value` in bytes without encoding it.
+#[must_use]
+pub fn len_u64(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small_values() {
+        for v in 0..300u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let (out, used) = read_u64(&buf).unwrap();
+            assert_eq!(out, v);
+            assert_eq!(used, buf.len());
+            assert_eq!(len_u64(v), buf.len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_boundaries() {
+        for v in [0u64, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(read_u64(&buf).unwrap(), (v, buf.len()));
+        }
+    }
+
+    #[test]
+    fn roundtrip_signed() {
+        for v in [
+            -1i64,
+            0,
+            1,
+            -64,
+            63,
+            -65,
+            64,
+            i64::MIN,
+            i64::MAX,
+            -1_000_000,
+        ] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(read_i64(&buf).unwrap(), (v, buf.len()));
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert_eq!(read_u64(&buf[..cut]), Err(DecodeVarintError));
+        }
+    }
+
+    #[test]
+    fn overlong_input_is_an_error() {
+        let buf = [0x80u8; 11];
+        assert_eq!(read_u64(&buf), Err(DecodeVarintError));
+    }
+
+    #[test]
+    fn small_negative_deltas_stay_short() {
+        // Address deltas are usually tiny; zigzag keeps -1 at one byte.
+        let mut buf = Vec::new();
+        write_i64(&mut buf, -1);
+        assert_eq!(buf.len(), 1);
+    }
+}

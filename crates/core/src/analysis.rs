@@ -1,0 +1,417 @@
+//! Timeline analysis: hot-spot detection and cause classification.
+//!
+//! §5: "only when having all these data available in parallel it is
+//! possible to analyze for example the reason for a temporary poor System
+//! IPC rate in detail (high cache miss rate? Which cache? Which data or
+//! code structure? High Interrupt load?)". [`find_hot_spots`] is that
+//! analysis: it locates low-IPC windows and names the dominant elevated
+//! rate inside them.
+
+use std::fmt;
+
+use audo_common::Cycle;
+
+use crate::metrics::Metric;
+use crate::timeline::Timeline;
+
+/// Root causes the classifier can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cause {
+    /// Elevated instruction-cache miss rate.
+    IcacheMisses,
+    /// Elevated data-cache miss rate.
+    DcacheMisses,
+    /// Elevated CPU data traffic to program flash.
+    FlashDataAccesses,
+    /// Elevated code-fetch traffic to the flash array.
+    FlashCodeFetches,
+    /// Elevated crossbar contention.
+    BusContention,
+    /// Elevated interrupt load.
+    InterruptLoad,
+    /// Elevated DMA traffic.
+    DmaTraffic,
+    /// No candidate metric stood out.
+    Unknown,
+}
+
+impl fmt::Display for Cause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cause::IcacheMisses => "I-cache misses",
+            Cause::DcacheMisses => "D-cache misses",
+            Cause::FlashDataAccesses => "flash data accesses",
+            Cause::FlashCodeFetches => "flash code fetches",
+            Cause::BusContention => "bus contention",
+            Cause::InterruptLoad => "interrupt load",
+            Cause::DmaTraffic => "DMA traffic",
+            Cause::Unknown => "unclassified",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A detected low-performance region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotSpot {
+    /// First sample cycle of the region.
+    pub from: Cycle,
+    /// Last sample cycle of the region.
+    pub to: Cycle,
+    /// Average IPC inside the region.
+    pub avg_ipc: f64,
+    /// Dominant elevated rate.
+    pub cause: Cause,
+    /// How much the dominant rate exceeded its whole-run average (1.0 = no
+    /// elevation).
+    pub elevation: f64,
+}
+
+/// Candidate metrics and the causes they indicate, in evaluation order.
+const CANDIDATES: &[(Metric, Cause, bool)] = &[
+    // (metric, cause, invert) — invert for "good when high" metrics.
+    (Metric::IcacheMissPerInstr, Cause::IcacheMisses, false),
+    (Metric::DcacheMissPerInstr, Cause::DcacheMisses, false),
+    (Metric::IcacheHitRatio, Cause::IcacheMisses, true),
+    (Metric::DcacheHitRatio, Cause::DcacheMisses, true),
+    (
+        Metric::FlashDataAccessPerInstr,
+        Cause::FlashDataAccesses,
+        false,
+    ),
+    (
+        Metric::FlashCodeFetchPerInstr,
+        Cause::FlashCodeFetches,
+        false,
+    ),
+    (
+        Metric::BusContentionPerKilocycle,
+        Cause::BusContention,
+        false,
+    ),
+    (Metric::InterruptsPerKilocycle, Cause::InterruptLoad, false),
+    (Metric::DmaBeatsPerKilocycle, Cause::DmaTraffic, false),
+];
+
+/// Finds contiguous regions where IPC sampled below `ipc_below` and
+/// classifies each region's dominant cause from the parallel series.
+///
+/// Requires [`Metric::Ipc`] in the timeline; other candidate metrics are
+/// used when present.
+#[must_use]
+pub fn find_hot_spots(timeline: &Timeline, ipc_below: f64) -> Vec<HotSpot> {
+    let ipc = timeline.series(Metric::Ipc);
+    let mut spots = Vec::new();
+    let mut i = 0;
+    while i < ipc.len() {
+        if ipc[i].value >= ipc_below {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < ipc.len() && ipc[i].value < ipc_below {
+            i += 1;
+        }
+        let region = &ipc[start..i];
+        let from = region[0].cycle;
+        let to = region[region.len() - 1].cycle;
+        let avg_ipc = region.iter().map(|s| s.value).sum::<f64>() / region.len() as f64;
+        let (cause, elevation) = classify(timeline, from, to);
+        spots.push(HotSpot {
+            from,
+            to,
+            avg_ipc,
+            cause,
+            elevation,
+        });
+    }
+    spots
+}
+
+fn classify(timeline: &Timeline, from: Cycle, to: Cycle) -> (Cause, f64) {
+    let mut best = (Cause::Unknown, 1.0f64);
+    for &(metric, cause, invert) in CANDIDATES {
+        let series = timeline.series(metric);
+        if series.is_empty() {
+            continue;
+        }
+        let global = timeline.average(metric);
+        let local_samples = timeline.window(metric, from, to);
+        if local_samples.is_empty() {
+            continue;
+        }
+        let local = local_samples.iter().map(|s| s.value).sum::<f64>() / local_samples.len() as f64;
+        let elevation = if invert {
+            // For hit ratios, "worse" means lower: compare miss fractions.
+            let local_bad = (1.0 - local).max(1e-9);
+            let global_bad = (1.0 - global).max(1e-9);
+            local_bad / global_bad
+        } else {
+            let g = global.max(1e-9);
+            local / g
+        };
+        if elevation > best.1 {
+            best = (cause, elevation);
+        }
+    }
+    if best.1 < 1.2 {
+        (Cause::Unknown, best.1)
+    } else {
+        best
+    }
+}
+
+/// Renders a compact terminal report: averages, sparklines, hot spots.
+#[must_use]
+pub fn render_report(timeline: &Timeline, ipc_below: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<34} {:>10}  timeline", "metric", "average");
+    for metric in timeline.metrics() {
+        let avg = timeline.average(metric);
+        let spark = timeline.sparkline(metric, 40);
+        let _ = writeln!(out, "{:<34} {:>10.4}  {}", metric.name(), avg, spark);
+    }
+    let spots = find_hot_spots(timeline, ipc_below);
+    if spots.is_empty() {
+        let _ = writeln!(out, "no IPC windows below {ipc_below}");
+    } else {
+        let _ = writeln!(out, "hot spots (IPC < {ipc_below}):");
+        for s in &spots {
+            let _ = writeln!(
+                out,
+                "  {}..{}  avg IPC {:.2}  cause: {} ({:.1}x elevated)",
+                s.from, s.to, s.avg_ipc, s.cause, s.elevation
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProfileSpec;
+    use audo_mcds::TraceMessage;
+
+    /// Builds a timeline with a low-IPC region (windows 5..8) where the
+    /// flash-data-access rate is elevated.
+    fn synthetic() -> Timeline {
+        let spec = ProfileSpec::new()
+            .metric(Metric::Ipc, 100)
+            .metric(Metric::FlashDataAccessPerInstr, 100)
+            .metric(Metric::IcacheMissPerInstr, 100);
+        let (_, map) = spec.compile().unwrap();
+        let mut msgs = Vec::new();
+        for w in 0..12u64 {
+            let cycle = Cycle((w + 1) * 100);
+            let bad = (5..8).contains(&w);
+            let ipc_num = if bad { 30 } else { 180 };
+            msgs.push((
+                cycle,
+                TraceMessage::Counter {
+                    probe: 0,
+                    num: ipc_num,
+                    den: 100,
+                },
+            ));
+            // Flash data accesses per 100 instructions.
+            let flash = if bad { 20 } else { 1 };
+            msgs.push((
+                cycle,
+                TraceMessage::Counter {
+                    probe: 1,
+                    num: flash,
+                    den: 100,
+                },
+            ));
+            // I-cache misses stay flat.
+            msgs.push((
+                cycle,
+                TraceMessage::Counter {
+                    probe: 2,
+                    num: 2,
+                    den: 100,
+                },
+            ));
+        }
+        Timeline::from_messages(&msgs, &map)
+    }
+
+    #[test]
+    fn hot_spot_found_and_classified() {
+        let t = synthetic();
+        let spots = find_hot_spots(&t, 1.0);
+        assert_eq!(spots.len(), 1);
+        let s = &spots[0];
+        assert_eq!(s.from, Cycle(600));
+        assert_eq!(s.to, Cycle(800));
+        assert!(s.avg_ipc < 0.5);
+        assert_eq!(
+            s.cause,
+            Cause::FlashDataAccesses,
+            "flash traffic dominates: {s:?}"
+        );
+        assert!(s.elevation > 3.0);
+    }
+
+    #[test]
+    fn no_spots_when_threshold_low() {
+        let t = synthetic();
+        assert!(find_hot_spots(&t, 0.1).is_empty());
+    }
+
+    #[test]
+    fn flat_metrics_classify_as_unknown() {
+        let spec = ProfileSpec::new()
+            .metric(Metric::Ipc, 100)
+            .metric(Metric::IcacheMissPerInstr, 100);
+        let (_, map) = spec.compile().unwrap();
+        let mut msgs = Vec::new();
+        for w in 0..6u64 {
+            let cycle = Cycle((w + 1) * 100);
+            let ipc = if w == 3 { 30 } else { 180 };
+            msgs.push((
+                cycle,
+                TraceMessage::Counter {
+                    probe: 0,
+                    num: ipc,
+                    den: 100,
+                },
+            ));
+            msgs.push((
+                cycle,
+                TraceMessage::Counter {
+                    probe: 1,
+                    num: 2,
+                    den: 100,
+                },
+            ));
+        }
+        let t = Timeline::from_messages(&msgs, &map);
+        let spots = find_hot_spots(&t, 1.0);
+        assert_eq!(spots.len(), 1);
+        assert_eq!(spots[0].cause, Cause::Unknown);
+    }
+
+    #[test]
+    fn report_renders_all_metrics() {
+        let t = synthetic();
+        let r = render_report(&t, 1.0);
+        assert!(r.contains("IPC (TriCore)"));
+        assert!(r.contains("hot spots"));
+        assert!(r.contains("flash data accesses"));
+    }
+}
+
+/// Per-metric change between two profiling runs of (typically) the same
+/// software on different configurations or software revisions.
+///
+/// §5: "Additionally system profiling allows measuring the result of the
+/// improvement quantitatively."
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// The metric.
+    pub metric: Metric,
+    /// Average in the baseline run.
+    pub before: f64,
+    /// Average in the comparison run.
+    pub after: f64,
+    /// `after - before`.
+    pub delta: f64,
+    /// Relative change (`delta / before`), `None` when the baseline is 0.
+    pub relative: Option<f64>,
+}
+
+/// Compares two timelines metric by metric (metrics present in both).
+#[must_use]
+pub fn compare_timelines(before: &Timeline, after: &Timeline) -> Vec<MetricDelta> {
+    let mut out = Vec::new();
+    for metric in before.metrics() {
+        if after.series(metric).is_empty() {
+            continue;
+        }
+        let b = before.average(metric);
+        let a = after.average(metric);
+        out.push(MetricDelta {
+            metric,
+            before: b,
+            after: a,
+            delta: a - b,
+            relative: if b.abs() > 1e-12 {
+                Some((a - b) / b)
+            } else {
+                None
+            },
+        });
+    }
+    out
+}
+
+/// Renders a comparison as a table.
+#[must_use]
+pub fn render_comparison(deltas: &[MetricDelta]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>10} {:>10} {:>10} {:>8}",
+        "metric", "before", "after", "delta", "rel"
+    );
+    for d in deltas {
+        let rel = d
+            .relative
+            .map_or("    -".to_string(), |r| format!("{:+.1}%", r * 100.0));
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10.4} {:>10.4} {:>+10.4} {:>8}",
+            d.metric.name(),
+            d.before,
+            d.after,
+            d.delta,
+            rel
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod compare_tests {
+    use super::*;
+    use crate::spec::ProfileSpec;
+    use audo_mcds::TraceMessage;
+
+    fn tl(ipc_num: u64) -> Timeline {
+        let spec = ProfileSpec::new().metric(Metric::Ipc, 100);
+        let (_, map) = spec.compile().unwrap();
+        let msgs = vec![(
+            Cycle(100),
+            TraceMessage::Counter {
+                probe: 0,
+                num: ipc_num,
+                den: 100,
+            },
+        )];
+        Timeline::from_messages(&msgs, &map)
+    }
+
+    #[test]
+    fn deltas_and_rendering() {
+        let before = tl(50);
+        let after = tl(75);
+        let deltas = compare_timelines(&before, &after);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].before, 0.5);
+        assert_eq!(deltas[0].after, 0.75);
+        assert!((deltas[0].relative.unwrap() - 0.5).abs() < 1e-12);
+        let r = render_comparison(&deltas);
+        assert!(r.contains("+50.0%"), "{r}");
+    }
+
+    #[test]
+    fn metrics_missing_on_either_side_are_skipped() {
+        let before = tl(50);
+        let after = Timeline::default();
+        assert!(compare_timelines(&before, &after).is_empty());
+    }
+}

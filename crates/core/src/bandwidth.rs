@@ -1,0 +1,108 @@
+//! Tool-interface bandwidth accounting: on-chip rate messages vs. external
+//! counter sampling.
+//!
+//! The closing argument of §5: "Instead of sampling by the external tool at
+//! least two long counters (executed instructions, measured event, etc.)
+//! only a single trace message with the counted events is stored. This is
+//! especially important as the bandwidth of the tool interface does not
+//! scale with the CPU frequency." These helpers quantify both sides;
+//! experiment E5 sweeps them over CPU frequency.
+
+use audo_common::Freq;
+use audo_dap::DapConfig;
+
+/// Approximate wire size of one counter message (header + ts delta +
+/// probe + num + den varints).
+pub const COUNTER_MESSAGE_BYTES: f64 = 6.0;
+
+/// Bandwidth (bytes/s) of the on-chip approach: every probe emits one
+/// counter message per completed window.
+///
+/// `window_cycles` is the resolution in CPU cycles; the message rate scales
+/// with CPU frequency but each message is tiny and the window is usually
+/// thousands of cycles.
+#[must_use]
+pub fn onchip_rate_bandwidth(probes: u32, window_cycles: u32, cpu_clock: Freq) -> f64 {
+    let windows_per_sec = cpu_clock.0 as f64 / f64::from(window_cycles.max(1));
+    windows_per_sec * f64::from(probes) * COUNTER_MESSAGE_BYTES
+}
+
+/// Bandwidth (bytes/s) the external-sampling alternative needs for the same
+/// resolution: the tool must poll `2 × probes` long counters (event counter
+/// plus basis counter, as the paper describes) once per window over the
+/// register-access protocol.
+#[must_use]
+pub fn external_sampling_bandwidth(
+    probes: u32,
+    window_cycles: u32,
+    cpu_clock: Freq,
+    dap: &DapConfig,
+) -> f64 {
+    let windows_per_sec = cpu_clock.0 as f64 / f64::from(window_cycles.max(1));
+    let regs_per_window = 2.0 * f64::from(probes);
+    windows_per_sec * regs_per_window * f64::from(dap.reg_read_cost)
+}
+
+/// One row of the frequency sweep in experiment E5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthRow {
+    /// CPU clock.
+    pub cpu_clock: Freq,
+    /// On-chip rate-message bandwidth demand (bytes/s).
+    pub onchip: f64,
+    /// External-sampling bandwidth demand (bytes/s).
+    pub sampling: f64,
+    /// DAP link capacity (bytes/s) — constant across the sweep.
+    pub capacity: f64,
+    /// `sampling / onchip` reduction factor.
+    pub reduction: f64,
+}
+
+/// Computes the bandwidth comparison for one CPU frequency.
+#[must_use]
+pub fn compare(probes: u32, window_cycles: u32, cpu_clock: Freq, dap: &DapConfig) -> BandwidthRow {
+    let onchip = onchip_rate_bandwidth(probes, window_cycles, cpu_clock);
+    let sampling = external_sampling_bandwidth(probes, window_cycles, cpu_clock, dap);
+    BandwidthRow {
+        cpu_clock,
+        onchip,
+        sampling,
+        capacity: dap.bytes_per_second(),
+        reduction: sampling / onchip.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn onchip_beats_sampling_by_the_packet_ratio() {
+        let dap = DapConfig::default(); // reg read = 10 bytes
+        let row = compare(4, 1000, Freq::mhz(150), &dap);
+        // sampling: 2×4 regs × 10 B; on-chip: 4 × 6 B → factor 80/24 ≈ 3.3.
+        assert!((row.reduction - 80.0 / 24.0).abs() < 1e-9);
+        assert!(row.onchip < row.sampling);
+    }
+
+    #[test]
+    fn both_demands_scale_with_frequency_capacity_does_not() {
+        let dap = DapConfig::default();
+        let slow = compare(4, 1000, Freq::mhz(80), &dap);
+        let fast = compare(4, 1000, Freq::mhz(300), &dap);
+        assert!(fast.onchip > slow.onchip);
+        assert!(fast.sampling > slow.sampling);
+        assert_eq!(fast.capacity, slow.capacity, "the link does not scale");
+        // At 300 MHz with 1k-cycle windows, sampling already blows the link:
+        // 300k windows/s × 80 B = 24 MB/s > 10 MB/s.
+        assert!(fast.sampling > fast.capacity);
+        assert!(fast.onchip < fast.capacity, "on-chip stays sustainable");
+    }
+
+    #[test]
+    fn window_length_trades_resolution_for_bandwidth() {
+        let coarse = onchip_rate_bandwidth(8, 10_000, Freq::mhz(150));
+        let fine = onchip_rate_bandwidth(8, 100, Freq::mhz(150));
+        assert!((fine / coarse - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,171 @@
+//! `audo-prof` — command-line profiler for TC-R assembly programs.
+//!
+//! The tool a downstream user drives: assemble a program, run it on the
+//! simulated Emulation Device, and print rate timelines, hot spots and the
+//! function-level profile.
+//!
+//! ```text
+//! audo-prof <program.asm> [--window N] [--max-cycles N] [--trace]
+//!           [--metrics ipc,icache,dcache,flashdata,irq,stall,bus]
+//!           [--ipc-below X] [--csv out.csv]
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! cargo run -p audo-profiler --bin audo-prof -- prog.asm --trace --metrics ipc,dcache
+//! ```
+
+use std::process::ExitCode;
+
+use audo_ed::{EdConfig, EmulationDevice};
+use audo_platform::config::SocConfig;
+use audo_profiler::metrics::Metric;
+use audo_profiler::reconstruct::{flat_profile, reconstruct_flow};
+use audo_profiler::render_report;
+use audo_profiler::session::{profile, SessionOptions};
+use audo_profiler::spec::ProfileSpec;
+use audo_tricore::asm::assemble;
+
+struct Args {
+    program: String,
+    window: u32,
+    max_cycles: u64,
+    trace: bool,
+    metrics: Vec<Metric>,
+    ipc_below: f64,
+    csv: Option<String>,
+}
+
+const USAGE: &str = "usage: audo-prof <program.asm> [--window N] [--max-cycles N] [--trace]
+          [--metrics ipc,pcp,icache,dcache,flashdata,flashcode,irq,stall,bus,dma]
+          [--ipc-below X] [--csv FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        program: String::new(),
+        window: 1000,
+        max_cycles: 10_000_000,
+        trace: false,
+        metrics: vec![Metric::Ipc, Metric::IcacheHitRatio, Metric::DcacheHitRatio],
+        ipc_below: 0.5,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--window" => {
+                args.window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--window needs a number")?;
+            }
+            "--max-cycles" => {
+                args.max_cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-cycles needs a number")?;
+            }
+            "--trace" => args.trace = true,
+            "--metrics" => {
+                let list = it.next().ok_or("--metrics needs a list")?;
+                args.metrics = list
+                    .split(',')
+                    .map(|m| m.trim().parse::<Metric>())
+                    .collect::<Result<_, _>>()?;
+            }
+            "--ipc-below" => {
+                args.ipc_below = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--ipc-below needs a number")?;
+            }
+            "--csv" => args.csv = Some(it.next().ok_or("--csv needs a file name")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if args.program.is_empty() && !other.starts_with('-') => {
+                args.program = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if args.program.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let src = std::fs::read_to_string(&args.program)
+        .map_err(|e| format!("cannot read {}: {e}", args.program))?;
+    let image = assemble(&src).map_err(|e| format!("assembly failed: {e}"))?;
+    println!(
+        "assembled {}: {} bytes, entry {}",
+        args.program,
+        image.size(),
+        image.entry()
+    );
+
+    let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+    ed.soc.load_image(&image).map_err(|e| e.to_string())?;
+
+    let mut spec = ProfileSpec::new();
+    for &m in &args.metrics {
+        spec = spec.metric(m, args.window);
+    }
+    if args.trace {
+        spec = spec.with_program_trace().with_sync_every(16);
+    }
+    let out = profile(
+        &mut ed,
+        &spec,
+        &SessionOptions {
+            max_cycles: args.max_cycles,
+            ..SessionOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "{} cycles ({}), {} trace bytes ({:.2} B/kcycle), IPC {:.3} overall\n",
+        out.cycles,
+        if out.halted { "halted" } else { "cycle limit" },
+        out.produced_bytes,
+        out.bytes_per_kilocycle(),
+        ed.soc.tricore.retired_total() as f64 / out.cycles.max(1) as f64,
+    );
+    print!("{}", render_report(&out.timeline, args.ipc_below));
+
+    if args.trace {
+        let rec = reconstruct_flow(&image, &out.messages).map_err(|e| e.to_string())?;
+        println!(
+            "\nfunction profile ({} instructions reconstructed):",
+            rec.instr_count
+        );
+        println!("{:<24} {:>12} {:>8}", "symbol", "instrs", "share");
+        for (name, instrs, share) in flat_profile(&rec).into_iter().take(12) {
+            println!("{name:<24} {instrs:>12} {share:>7.2}%");
+        }
+    }
+    if let Some(path) = &args.csv {
+        std::fs::write(path, out.timeline.to_csv())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("\ntimeline written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! **Enhanced System Profiling** and the architecture-optimization
+//! methodology — the primary contribution of Mayer & Hellwig, *"System
+//! Performance Optimization Methodology for Infineon's 32-Bit Automotive
+//! Microcontroller Architecture"* (DATE 2008), reimplemented against the
+//! simulated AUDO-class platform of this workspace.
+//!
+//! The flow mirrors the paper end to end:
+//!
+//! 1. **Specify** ([`spec`]) — which [`metrics::Metric`]s to measure, at
+//!    which resolution, optionally cascaded (fine-grained probes armed only
+//!    while a coarse rate is bad).
+//! 2. **Compile** — the spec is allocated onto the finite counter/
+//!    comparator resources of the MCDS; over-subscription fails, exactly
+//!    like on silicon.
+//! 3. **Run** ([`session`]) — the unchanged application executes on the
+//!    Emulation Device; rates are computed on chip, buffered in EMEM, and
+//!    drained through the bandwidth-limited DAP link.
+//! 4. **Analyze** ([`timeline`], [`analysis`], [`reconstruct`]) — parallel
+//!    rate timelines, hot-spot detection with cause classification, and
+//!    full program-flow reconstruction with function-level attribution.
+//! 5. **Optimize** ([`options`], [`generation`]) — candidate
+//!    next-generation architecture changes are evaluated analytically from
+//!    the measured statistics and by replaying the same software, ranked by
+//!    gain/cost per workload and across workloads (with the §4 "no negative
+//!    side effects" veto), and assembled into the next-generation
+//!    configuration by the F-model planner ([`bandwidth`] covers the
+//!    tool-link scalability argument).
+//!
+//! # Example
+//!
+//! ```
+//! use audo_ed::{EdConfig, EmulationDevice};
+//! use audo_platform::config::SocConfig;
+//! use audo_profiler::metrics::Metric;
+//! use audo_profiler::session::{profile, SessionOptions};
+//! use audo_profiler::spec::ProfileSpec;
+//! use audo_tricore::asm::assemble;
+//!
+//! let image = assemble("
+//!     .org 0x80000000
+//! _start:
+//!     movi d0, 0
+//!     li d1, 1000
+//! head:
+//!     addi d0, d0, 1
+//!     jne d0, d1, head
+//!     halt
+//! ")?;
+//! let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+//! ed.soc.load_image(&image)?;
+//!
+//! let spec = ProfileSpec::new()
+//!     .metric(Metric::Ipc, 500)
+//!     .metric(Metric::IcacheHitRatio, 500);
+//! let outcome = profile(&mut ed, &spec, &SessionOptions::default())?;
+//! assert!(outcome.timeline.average(Metric::Ipc) > 0.0);
+//! # Ok::<(), audo_common::SimError>(())
+//! ```
+
+pub mod analysis;
+pub mod bandwidth;
+pub mod generation;
+pub mod metrics;
+pub mod options;
+pub mod reconstruct;
+pub mod session;
+pub mod spec;
+pub mod timeline;
+
+pub use analysis::{
+    compare_timelines, find_hot_spots, render_comparison, render_report, Cause, HotSpot,
+    MetricDelta,
+};
+pub use generation::{plan_next_generation, GenerationPlan, GenerationPlanOptions};
+pub use metrics::Metric;
+pub use options::{
+    cross_workload_ranking, evaluate_options, render_cross_ranking, ArchOption, CostModel,
+    CrossEvaluation, MeasuredProfile, OptionStudy,
+};
+pub use reconstruct::{flat_profile, reconstruct_flow, FlowReconstruction};
+pub use session::{profile, DrainPolicy, SessionOptions, SessionOutcome};
+pub use spec::{MetricRequest, ProbeMap, ProfileSpec};
+pub use timeline::{Sample, Timeline};

@@ -1,0 +1,351 @@
+//! User-facing performance metrics and their mapping onto MCDS rate probes.
+//!
+//! §5 of the paper lists the "essential parameters for CPU system
+//! performance of an engine control system": data/instruction cache
+//! hit/miss rates, CPU data/instruction access rates to
+//! flash/SRAM/scratchpad SRAMs, hit rates on flash read/pre-fetch buffers,
+//! CPU IPC rate, interrupt rate. [`Metric`] is that catalogue; each metric
+//! compiles into one or two [`RateProbe`]s plus a host-side combiner.
+
+use audo_common::events::{FlashPort, MemRegion, StallReason};
+use audo_common::{AccessKind, SourceId};
+use audo_mcds::select::{EventClass, EventSelector};
+use audo_mcds::{Basis, RateProbe};
+
+/// A measurable system-performance metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Metric {
+    /// TriCore instructions per cycle.
+    Ipc,
+    /// PCP instructions per cycle.
+    PcpIpc,
+    /// I-cache hit ratio (hits / lookups).
+    IcacheHitRatio,
+    /// D-cache hit ratio (hits / lookups).
+    DcacheHitRatio,
+    /// I-cache misses per executed instruction.
+    IcacheMissPerInstr,
+    /// D-cache misses per executed instruction.
+    DcacheMissPerInstr,
+    /// Flash read/prefetch-buffer hit ratio (`None` = both ports).
+    FlashBufferHitRatio(Option<FlashPort>),
+    /// CPU data accesses to program flash per executed instruction.
+    FlashDataAccessPerInstr,
+    /// Code fetches reaching the flash per executed instruction.
+    FlashCodeFetchPerInstr,
+    /// CPU data accesses to a memory region per executed instruction.
+    RegionAccessPerInstr(MemRegion),
+    /// Data *writes* to a region per executed instruction.
+    RegionWritePerInstr(MemRegion),
+    /// Interrupts taken per 1000 cycles.
+    InterruptsPerKilocycle,
+    /// Service requests raised per 1000 cycles.
+    IrqRaisedPerKilocycle,
+    /// Stall fraction (stall cycles / cycles), optionally by reason.
+    StallFraction(Option<StallReason>),
+    /// Crossbar contention events per 1000 cycles.
+    BusContentionPerKilocycle,
+    /// DMA beats per 1000 cycles.
+    DmaBeatsPerKilocycle,
+}
+
+/// All catalogue metrics (useful for "measure everything" sessions).
+pub const ALL_BASIC_METRICS: &[Metric] = &[
+    Metric::Ipc,
+    Metric::IcacheHitRatio,
+    Metric::DcacheHitRatio,
+    Metric::FlashBufferHitRatio(None),
+    Metric::FlashDataAccessPerInstr,
+    Metric::FlashCodeFetchPerInstr,
+    Metric::RegionAccessPerInstr(MemRegion::Sram),
+    Metric::RegionAccessPerInstr(MemRegion::Dspr),
+    Metric::InterruptsPerKilocycle,
+    Metric::StallFraction(None),
+    Metric::BusContentionPerKilocycle,
+];
+
+impl std::str::FromStr for Metric {
+    type Err = String;
+
+    /// Parses the CLI names used by `audo-prof` (`ipc`, `icache`, `dcache`,
+    /// `flashdata`, `flashcode`, `irq`, `stall`, `bus`, `dma`, `pcp`).
+    fn from_str(name: &str) -> Result<Metric, String> {
+        Ok(match name {
+            "ipc" => Metric::Ipc,
+            "pcp" => Metric::PcpIpc,
+            "icache" => Metric::IcacheHitRatio,
+            "dcache" => Metric::DcacheHitRatio,
+            "flashdata" => Metric::FlashDataAccessPerInstr,
+            "flashcode" => Metric::FlashCodeFetchPerInstr,
+            "irq" => Metric::InterruptsPerKilocycle,
+            "stall" => Metric::StallFraction(None),
+            "bus" => Metric::BusContentionPerKilocycle,
+            "dma" => Metric::DmaBeatsPerKilocycle,
+            other => return Err(format!("unknown metric `{other}`")),
+        })
+    }
+}
+
+/// How a metric's sampled windows combine into a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// `num / den` of a single probe (rates, IPC).
+    Rate,
+    /// `a / (a + b)` over two probes (hit ratios: hits and misses).
+    RatioOfTwo,
+}
+
+impl Metric {
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Metric::Ipc => "IPC (TriCore)".to_string(),
+            Metric::PcpIpc => "IPC (PCP)".to_string(),
+            Metric::IcacheHitRatio => "I-cache hit ratio".to_string(),
+            Metric::DcacheHitRatio => "D-cache hit ratio".to_string(),
+            Metric::IcacheMissPerInstr => "I-cache misses/instr".to_string(),
+            Metric::DcacheMissPerInstr => "D-cache misses/instr".to_string(),
+            Metric::FlashBufferHitRatio(None) => "flash buffer hit ratio".to_string(),
+            Metric::FlashBufferHitRatio(Some(p)) => format!("flash buffer hit ratio ({p})"),
+            Metric::FlashDataAccessPerInstr => "flash data accesses/instr".to_string(),
+            Metric::FlashCodeFetchPerInstr => "flash code fetches/instr".to_string(),
+            Metric::RegionAccessPerInstr(r) => format!("{r} accesses/instr"),
+            Metric::RegionWritePerInstr(r) => format!("{r} writes/instr"),
+            Metric::InterruptsPerKilocycle => "interrupts/1k cycles".to_string(),
+            Metric::IrqRaisedPerKilocycle => "service requests/1k cycles".to_string(),
+            Metric::StallFraction(None) => "stall fraction".to_string(),
+            Metric::StallFraction(Some(r)) => format!("stall fraction ({r})"),
+            Metric::BusContentionPerKilocycle => "bus contentions/1k cycles".to_string(),
+            Metric::DmaBeatsPerKilocycle => "DMA beats/1k cycles".to_string(),
+        }
+    }
+
+    /// How the probes of this metric combine.
+    #[must_use]
+    pub fn combine(&self) -> Combine {
+        match self {
+            Metric::IcacheHitRatio | Metric::DcacheHitRatio | Metric::FlashBufferHitRatio(_) => {
+                Combine::RatioOfTwo
+            }
+            _ => Combine::Rate,
+        }
+    }
+
+    /// Value scale applied after combining (e.g. ×1000 for per-kilocycle
+    /// metrics, so displayed numbers are natural).
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        match self {
+            Metric::InterruptsPerKilocycle
+            | Metric::IrqRaisedPerKilocycle
+            | Metric::BusContentionPerKilocycle
+            | Metric::DmaBeatsPerKilocycle => 1000.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Whether this metric defaults to a cycle basis (IPC-class) or an
+    /// instruction basis (event-rate class), per §5.
+    #[must_use]
+    pub fn default_basis_is_cycles(&self) -> bool {
+        matches!(
+            self,
+            Metric::Ipc
+                | Metric::PcpIpc
+                | Metric::InterruptsPerKilocycle
+                | Metric::IrqRaisedPerKilocycle
+                | Metric::StallFraction(_)
+                | Metric::BusContentionPerKilocycle
+                | Metric::DmaBeatsPerKilocycle
+        )
+    }
+
+    /// The numerator selectors (1 for rates, 2 for hit ratios:
+    /// `[favourable, unfavourable]`).
+    #[must_use]
+    pub fn selectors(&self) -> Vec<EventSelector> {
+        use EventClass as C;
+        let one = |c: EventClass| vec![EventSelector::of(c)];
+        match *self {
+            Metric::Ipc => {
+                vec![EventSelector::of(C::InstrRetired).from(SourceId::TRICORE)]
+            }
+            Metric::PcpIpc => vec![EventSelector::of(C::InstrRetired).from(SourceId::PCP)],
+            Metric::IcacheHitRatio => {
+                vec![
+                    EventSelector::of(C::IcacheHit),
+                    EventSelector::of(C::IcacheMiss),
+                ]
+            }
+            Metric::DcacheHitRatio => {
+                vec![
+                    EventSelector::of(C::DcacheHit),
+                    EventSelector::of(C::DcacheMiss),
+                ]
+            }
+            Metric::IcacheMissPerInstr => one(C::IcacheMiss),
+            Metric::DcacheMissPerInstr => one(C::DcacheMiss),
+            Metric::FlashBufferHitRatio(port) => vec![
+                EventSelector::of(C::FlashBufferHit(port)),
+                EventSelector::of(C::FlashBufferMiss(port)),
+            ],
+            Metric::FlashDataAccessPerInstr => vec![EventSelector::of(C::DataAccess {
+                region: MemRegion::PFlash,
+                kind: None,
+            })
+            .from(SourceId::TRICORE)],
+            Metric::FlashCodeFetchPerInstr => one(C::FlashCodeFetch),
+            Metric::RegionAccessPerInstr(region) => {
+                vec![EventSelector::of(C::DataAccess { region, kind: None }).from(SourceId::TRICORE)]
+            }
+            Metric::RegionWritePerInstr(region) => {
+                vec![EventSelector::of(C::DataAccess {
+                    region,
+                    kind: Some(AccessKind::Write),
+                })
+                .from(SourceId::TRICORE)]
+            }
+            Metric::InterruptsPerKilocycle => one(C::IrqTaken),
+            Metric::IrqRaisedPerKilocycle => one(C::IrqRaised),
+            Metric::StallFraction(reason) => {
+                vec![EventSelector::of(C::Stall(reason)).from(SourceId::TRICORE)]
+            }
+            Metric::BusContentionPerKilocycle => one(C::BusContention),
+            Metric::DmaBeatsPerKilocycle => one(C::DmaBeat),
+        }
+    }
+
+    /// Compiles this metric into rate probes at the given resolution.
+    ///
+    /// `window` is the basis window length; `group` assigns the probes to a
+    /// cascade group.
+    #[must_use]
+    pub fn probes(&self, window: u32, group: Option<u8>) -> Vec<RateProbe> {
+        let basis = if self.default_basis_is_cycles() {
+            Basis::Cycles(window)
+        } else {
+            Basis::Instructions {
+                source: SourceId::TRICORE,
+                n: window,
+            }
+        };
+        self.selectors()
+            .into_iter()
+            .map(|event| RateProbe {
+                event,
+                basis,
+                group,
+            })
+            .collect()
+    }
+
+    /// Combines window sums into the metric value.
+    ///
+    /// For [`Combine::Rate`], pass the probe's `(num, den)`; for
+    /// [`Combine::RatioOfTwo`], pass `(favourable, unfavourable)` counts.
+    #[must_use]
+    pub fn value(&self, a: u64, b: u64) -> f64 {
+        match self.combine() {
+            Combine::Rate => {
+                if b == 0 {
+                    0.0
+                } else {
+                    self.scale() * a as f64 / b as f64
+                }
+            }
+            Combine::RatioOfTwo => {
+                if a + b == 0 {
+                    0.0
+                } else {
+                    self.scale() * a as f64 / (a + b) as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_counts_match_combiner() {
+        for m in ALL_BASIC_METRICS {
+            let probes = m.probes(1000, None);
+            match m.combine() {
+                Combine::Rate => assert_eq!(probes.len(), 1, "{m:?}"),
+                Combine::RatioOfTwo => assert_eq!(probes.len(), 2, "{m:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ipc_uses_cycle_basis_cache_rates_use_instruction_basis() {
+        let ipc = Metric::Ipc.probes(500, None);
+        assert_eq!(ipc[0].basis, Basis::Cycles(500));
+        let dc = Metric::DcacheMissPerInstr.probes(100, None);
+        assert_eq!(
+            dc[0].basis,
+            Basis::Instructions {
+                source: SourceId::TRICORE,
+                n: 100
+            }
+        );
+    }
+
+    #[test]
+    fn hit_ratio_math_matches_paper_example() {
+        // "4 instruction cache misses during the last 100 executed
+        // instructions respond to an instruction cache hit rate of 96%."
+        let hits = 96;
+        let misses = 4;
+        assert_eq!(Metric::IcacheHitRatio.value(hits, misses), 0.96);
+        // And the per-instruction miss rate view: 4 / 100 = 0.04.
+        assert_eq!(Metric::IcacheMissPerInstr.value(4, 100), 0.04);
+        // "6 CPU data reads from the flash within the last 100 executed
+        // instructions are identical to an CPU data flash access rate of 6%."
+        assert_eq!(Metric::FlashDataAccessPerInstr.value(6, 100), 0.06);
+    }
+
+    #[test]
+    fn kilocycle_metrics_scale() {
+        assert_eq!(Metric::InterruptsPerKilocycle.value(5, 10_000), 0.5);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<String> = ALL_BASIC_METRICS.iter().map(Metric::name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn from_str_covers_the_cli_names() {
+        for name in [
+            "ipc",
+            "pcp",
+            "icache",
+            "dcache",
+            "flashdata",
+            "flashcode",
+            "irq",
+            "stall",
+            "bus",
+            "dma",
+        ] {
+            assert!(name.parse::<Metric>().is_ok(), "{name}");
+        }
+        assert!("bogus".parse::<Metric>().is_err());
+        assert_eq!("ipc".parse::<Metric>(), Ok(Metric::Ipc));
+    }
+
+    #[test]
+    fn group_assignment_propagates() {
+        let probes = Metric::IcacheHitRatio.probes(100, Some(3));
+        assert!(probes.iter().all(|p| p.group == Some(3)));
+    }
+}

@@ -1,0 +1,629 @@
+//! Architecture-option evaluation: the SoC-architect half of the
+//! methodology.
+//!
+//! §6: "it is possible to get a complete application profile for further
+//! SoC optimizations. This allows a quantitative comparison of optimization
+//! options to choose the ones with the best ratio between performance gain
+//! on the one side and development effort and area increase on the other
+//! side." This module provides:
+//!
+//! * [`ArchOption`] — the candidate next-generation changes on the paper's
+//!   named levers (the CPU→flash path, caches, arbitration),
+//! * [`CostModel`] — relative area/effort cost per option,
+//! * an **analytical** gain estimator from measured event statistics
+//!   (where the statistics determine the gain exactly), and
+//! * a **replay** evaluator that re-runs the unchanged software on the
+//!   modified configuration — the software-compatibility evolution of the
+//!   F-model,
+//! * gain/cost ranking across options and workloads.
+
+use std::fmt;
+
+use audo_common::{ByteSize, EventRecord, PerfEvent, SimError};
+use audo_platform::config::{PortArbitration, SocConfig};
+
+/// A candidate architecture/implementation change for the next generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ArchOption {
+    /// Reduce program-flash wait states (faster flash array).
+    FlashWaitStates(u64),
+    /// Change the number of flash read buffers.
+    FlashReadBuffers(usize),
+    /// Enable/disable the sequential prefetcher.
+    FlashPrefetch(bool),
+    /// Change the flash code/data port arbitration.
+    FlashArbitration(PortArbitration),
+    /// Resize the instruction cache.
+    IcacheSize(ByteSize),
+    /// Resize the data cache.
+    DcacheSize(ByteSize),
+    /// Change the SRAM access latency (faster LMU).
+    SramLatency(u64),
+}
+
+impl ArchOption {
+    /// Applies the option to a configuration.
+    pub fn apply(&self, cfg: &mut SocConfig) {
+        match *self {
+            ArchOption::FlashWaitStates(ws) => cfg.flash.wait_states = ws,
+            ArchOption::FlashReadBuffers(n) => cfg.flash.read_buffers = n.max(1),
+            ArchOption::FlashPrefetch(on) => cfg.flash.prefetch = on,
+            ArchOption::FlashArbitration(a) => cfg.flash.arbitration = a,
+            ArchOption::IcacheSize(s) => cfg.icache.size = s,
+            ArchOption::DcacheSize(s) => cfg.dcache.size = s,
+            ArchOption::SramLatency(l) => cfg.sram_latency = l,
+        }
+    }
+
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            ArchOption::FlashWaitStates(ws) => format!("flash ws={ws}"),
+            ArchOption::FlashReadBuffers(n) => format!("flash buffers={n}"),
+            ArchOption::FlashPrefetch(on) => {
+                format!("prefetch {}", if on { "on" } else { "off" })
+            }
+            ArchOption::FlashArbitration(a) => format!("arbitration {a:?}"),
+            ArchOption::IcacheSize(s) => format!("I-cache {s}"),
+            ArchOption::DcacheSize(s) => format!("D-cache {s}"),
+            ArchOption::SramLatency(l) => format!("SRAM latency={l}"),
+        }
+    }
+}
+
+impl fmt::Display for ArchOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Relative cost (area/effort in kilo-gate-equivalents) of each option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Cost per KiB of added cache RAM.
+    pub kge_per_cache_kib: f64,
+    /// Cost per added flash line buffer.
+    pub kge_per_flash_buffer: f64,
+    /// Cost per removed flash wait state (faster array / sensing).
+    pub kge_per_wait_state_removed: f64,
+    /// Cost of adding the prefetch engine.
+    pub kge_prefetch: f64,
+    /// Cost of an arbitration change (design/verification effort).
+    pub kge_arbitration: f64,
+    /// Cost per removed SRAM latency cycle.
+    pub kge_per_sram_cycle_removed: f64,
+    /// Floor so no option divides by zero.
+    pub min_cost: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            kge_per_cache_kib: 9.0,
+            kge_per_flash_buffer: 4.0,
+            kge_per_wait_state_removed: 35.0,
+            kge_prefetch: 6.0,
+            kge_arbitration: 2.0,
+            kge_per_sram_cycle_removed: 25.0,
+            min_cost: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of applying `opt` relative to `baseline` (never below
+    /// `min_cost`; reductions cost effort too, never negative).
+    #[must_use]
+    pub fn cost(&self, baseline: &SocConfig, opt: &ArchOption) -> f64 {
+        let raw = match *opt {
+            ArchOption::FlashWaitStates(ws) => {
+                let removed = baseline.flash.wait_states.saturating_sub(ws) as f64;
+                removed * self.kge_per_wait_state_removed
+            }
+            ArchOption::FlashReadBuffers(n) => {
+                (n as f64 - baseline.flash.read_buffers as f64).abs() * self.kge_per_flash_buffer
+            }
+            ArchOption::FlashPrefetch(on) => {
+                if on == baseline.flash.prefetch {
+                    0.0
+                } else {
+                    self.kge_prefetch
+                }
+            }
+            ArchOption::FlashArbitration(a) => {
+                if a == baseline.flash.arbitration {
+                    0.0
+                } else {
+                    self.kge_arbitration
+                }
+            }
+            ArchOption::IcacheSize(s) => {
+                let delta_kib = (s.bytes() as f64 - baseline.icache.size.bytes() as f64) / 1024.0;
+                delta_kib.max(0.0) * self.kge_per_cache_kib
+            }
+            ArchOption::DcacheSize(s) => {
+                let delta_kib = (s.bytes() as f64 - baseline.dcache.size.bytes() as f64) / 1024.0;
+                delta_kib.max(0.0) * self.kge_per_cache_kib
+            }
+            ArchOption::SramLatency(l) => {
+                baseline.sram_latency.saturating_sub(l) as f64 * self.kge_per_sram_cycle_removed
+            }
+        };
+        raw.max(self.min_cost)
+    }
+}
+
+/// Aggregate event statistics of one measured run — the "statistical data"
+/// the analytical methodology consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeasuredProfile {
+    /// Total cycles.
+    pub cycles: u64,
+    /// TriCore instructions retired.
+    pub instrs: u64,
+    /// Flash buffer misses (both ports).
+    pub flash_buffer_misses: u64,
+    /// Flash port-arbitration conflict wait cycles.
+    pub flash_conflict_waits: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+    /// Crossbar contention wait cycles.
+    pub bus_wait_cycles: u64,
+    /// Interrupts taken.
+    pub irq_taken: u64,
+}
+
+impl MeasuredProfile {
+    /// Builds the statistics from a ground-truth event stream (or from an
+    /// MCDS capture with unlimited resolution).
+    #[must_use]
+    pub fn from_events(cycles: u64, events: &[EventRecord]) -> MeasuredProfile {
+        let mut p = MeasuredProfile {
+            cycles,
+            ..MeasuredProfile::default()
+        };
+        for e in events {
+            match e.event {
+                PerfEvent::InstrRetired { count } if e.source == audo_common::SourceId::TRICORE => {
+                    p.instrs += u64::from(count);
+                }
+                PerfEvent::FlashBufferMiss { .. } => p.flash_buffer_misses += 1,
+                PerfEvent::FlashPortConflict { waited, .. } => {
+                    p.flash_conflict_waits += u64::from(waited);
+                }
+                PerfEvent::CacheMiss {
+                    cache: audo_common::events::CacheId::Instruction,
+                } => {
+                    p.icache_misses += 1;
+                }
+                PerfEvent::CacheMiss {
+                    cache: audo_common::events::CacheId::Data,
+                } => {
+                    p.dcache_misses += 1;
+                }
+                PerfEvent::BusContention { waited, .. } => {
+                    p.bus_wait_cycles += u64::from(waited);
+                }
+                PerfEvent::IrqTaken { .. } => p.irq_taken += 1,
+                _ => {}
+            }
+        }
+        p
+    }
+}
+
+/// Analytically estimated cycle gain of an option from measured statistics.
+///
+/// Only options whose effect is a pure latency change on already-counted
+/// events can be estimated without re-running (wait states, arbitration);
+/// structural options (buffer count, cache size, prefetch) change *which*
+/// events occur and return `None` — they must be replayed. This split is
+/// the honest boundary of the paper's analytical methodology.
+#[must_use]
+pub fn analytical_gain(
+    profile: &MeasuredProfile,
+    baseline: &SocConfig,
+    opt: &ArchOption,
+) -> Option<f64> {
+    if profile.cycles == 0 {
+        return None;
+    }
+    let saved: f64 = match *opt {
+        ArchOption::FlashWaitStates(ws) => {
+            let delta = baseline.flash.wait_states as f64 - ws as f64;
+            delta * profile.flash_buffer_misses as f64
+        }
+        ArchOption::FlashArbitration(_) => {
+            // Upper bound: all conflict wait cycles removed.
+            profile.flash_conflict_waits as f64
+        }
+        // Structural options (buffers, caches, prefetch, SRAM latency)
+        // change which events occur; no sound closed-form estimate exists
+        // from aggregate counts alone — replay instead.
+        _ => return None,
+    };
+    Some(saved / profile.cycles as f64)
+}
+
+/// One evaluated option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The option.
+    pub option: ArchOption,
+    /// Cycles with the option applied.
+    pub cycles: u64,
+    /// `baseline_cycles / cycles`.
+    pub speedup: f64,
+    /// Fractional gain `1 - cycles/baseline`.
+    pub gain: f64,
+    /// Analytical gain estimate, where the statistics allow one.
+    pub analytical_gain: Option<f64>,
+    /// Cost in kGE-equivalents.
+    pub cost: f64,
+    /// Percent gain per kGE — the paper's ranking figure of merit.
+    pub gain_per_cost: f64,
+}
+
+/// A ranked option study for one workload.
+#[derive(Debug, Clone, Default)]
+pub struct OptionStudy {
+    /// Baseline cycle count.
+    pub baseline_cycles: u64,
+    /// Evaluations, ranked by `gain_per_cost` descending.
+    pub evaluations: Vec<Evaluation>,
+}
+
+impl OptionStudy {
+    /// Renders a ranking table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>8} {:>9} {:>10} {:>8} {:>11}",
+            "option", "cycles", "speedup", "gain%", "est.gain%", "cost", "gain%/cost"
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>8} {:>9}",
+            "baseline", self.baseline_cycles, "1.000", "-"
+        );
+        for e in &self.evaluations {
+            let est = e
+                .analytical_gain
+                .map_or("     -".to_string(), |g| format!("{:6.2}", g * 100.0));
+            let _ = writeln!(
+                out,
+                "{:<24} {:>12} {:>8.3} {:>8.2}% {:>10} {:>8.1} {:>11.3}",
+                e.option.label(),
+                e.cycles,
+                e.speedup,
+                e.gain * 100.0,
+                est,
+                e.cost,
+                e.gain_per_cost
+            );
+        }
+        out
+    }
+}
+
+/// Evaluates options by replaying the unchanged workload on modified
+/// configurations, ranks by gain/cost.
+///
+/// `runner` executes the workload on a configuration and returns the cycle
+/// count (typically: build a SoC, load the same image, run to halt).
+///
+/// # Errors
+///
+/// Propagates runner failures.
+pub fn evaluate_options<F>(
+    baseline: &SocConfig,
+    options: &[ArchOption],
+    cost_model: &CostModel,
+    profile: Option<&MeasuredProfile>,
+    mut runner: F,
+) -> Result<OptionStudy, SimError>
+where
+    F: FnMut(&SocConfig) -> Result<u64, SimError>,
+{
+    let baseline_cycles = runner(baseline)?;
+    let mut evaluations = Vec::new();
+    for opt in options {
+        let mut cfg = baseline.clone();
+        opt.apply(&mut cfg);
+        let cycles = runner(&cfg)?;
+        let speedup = baseline_cycles as f64 / cycles.max(1) as f64;
+        let gain = 1.0 - cycles as f64 / baseline_cycles.max(1) as f64;
+        let cost = cost_model.cost(baseline, opt);
+        let analytical = profile.and_then(|p| analytical_gain(p, baseline, opt));
+        evaluations.push(Evaluation {
+            option: *opt,
+            cycles,
+            speedup,
+            gain,
+            analytical_gain: analytical,
+            cost,
+            gain_per_cost: gain * 100.0 / cost,
+        });
+    }
+    evaluations.sort_by(|a, b| {
+        b.gain_per_cost
+            .partial_cmp(&a.gain_per_cost)
+            .expect("finite ranking values")
+    });
+    Ok(OptionStudy {
+        baseline_cycles,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_apply_to_config() {
+        let mut cfg = SocConfig::default();
+        ArchOption::FlashWaitStates(2).apply(&mut cfg);
+        ArchOption::FlashReadBuffers(4).apply(&mut cfg);
+        ArchOption::IcacheSize(ByteSize::kib(32)).apply(&mut cfg);
+        assert_eq!(cfg.flash.wait_states, 2);
+        assert_eq!(cfg.flash.read_buffers, 4);
+        assert_eq!(cfg.icache.size, ByteSize::kib(32));
+    }
+
+    #[test]
+    fn cost_model_orders_sanely() {
+        let cm = CostModel::default();
+        let base = SocConfig::default();
+        let arb = cm.cost(
+            &base,
+            &ArchOption::FlashArbitration(PortArbitration::RoundRobin),
+        );
+        let buf = cm.cost(&base, &ArchOption::FlashReadBuffers(4));
+        let cache = cm.cost(&base, &ArchOption::IcacheSize(ByteSize::kib(32)));
+        let ws = cm.cost(&base, &ArchOption::FlashWaitStates(3));
+        assert!(arb < buf, "arbitration tweak cheaper than buffers");
+        assert!(buf < ws, "buffers cheaper than a faster flash array");
+        assert!(ws < cache, "doubling a 16 KiB cache is the big-ticket item");
+        assert!(cm.cost(&base, &ArchOption::FlashPrefetch(true)) >= cm.min_cost);
+    }
+
+    #[test]
+    fn analytical_gain_for_wait_states() {
+        let p = MeasuredProfile {
+            cycles: 100_000,
+            flash_buffer_misses: 5_000,
+            ..MeasuredProfile::default()
+        };
+        let base = SocConfig::default(); // ws = 5
+        let g = analytical_gain(&p, &base, &ArchOption::FlashWaitStates(3)).unwrap();
+        // 2 cycles x 5000 misses / 100k cycles = 10 %.
+        assert!((g - 0.10).abs() < 1e-9);
+        assert!(analytical_gain(&p, &base, &ArchOption::FlashReadBuffers(4)).is_none());
+    }
+
+    #[test]
+    fn evaluate_ranks_by_gain_per_cost() {
+        let base = SocConfig::default();
+        let options = [
+            ArchOption::FlashWaitStates(3),
+            ArchOption::FlashArbitration(PortArbitration::RoundRobin),
+        ];
+        // Synthetic runner: wait-state reduction saves 20 %, arbitration 2 %.
+        let study = evaluate_options(&base, &options, &CostModel::default(), None, |cfg| {
+            Ok(match (cfg.flash.wait_states, cfg.flash.arbitration) {
+                (3, _) => 80_000,
+                (_, PortArbitration::RoundRobin) => 98_000,
+                _ => 100_000,
+            })
+        })
+        .unwrap();
+        assert_eq!(study.baseline_cycles, 100_000);
+        // Arbitration: 2 % / 2 kGE = 1.0; wait states: 20 % / 70 kGE ≈ 0.29.
+        assert!(matches!(
+            study.evaluations[0].option,
+            ArchOption::FlashArbitration(_)
+        ));
+        assert!(study.evaluations[0].gain_per_cost > study.evaluations[1].gain_per_cost);
+        let r = study.render();
+        assert!(r.contains("baseline"));
+        assert!(r.contains("flash ws=3"));
+    }
+
+    #[test]
+    fn measured_profile_from_events() {
+        use audo_common::{Cycle, EventRecord, SourceId};
+        let events = vec![
+            EventRecord {
+                cycle: Cycle(0),
+                source: SourceId::TRICORE,
+                event: PerfEvent::InstrRetired { count: 3 },
+            },
+            EventRecord {
+                cycle: Cycle(1),
+                source: SourceId::PMU,
+                event: PerfEvent::FlashBufferMiss {
+                    port: audo_common::events::FlashPort::Code,
+                },
+            },
+            EventRecord {
+                cycle: Cycle(2),
+                source: SourceId::BUS,
+                event: PerfEvent::BusContention {
+                    master: SourceId::DMA,
+                    waited: 3,
+                },
+            },
+        ];
+        let p = MeasuredProfile::from_events(10, &events);
+        assert_eq!(p.instrs, 3);
+        assert_eq!(p.flash_buffer_misses, 1);
+        assert_eq!(p.bus_wait_cycles, 3);
+        assert_eq!(p.cycles, 10);
+    }
+}
+
+/// One option's aggregate standing across several workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossEvaluation {
+    /// The option.
+    pub option: ArchOption,
+    /// Geometric-mean speedup across workloads.
+    pub geomean_speedup: f64,
+    /// The worst per-workload gain (negative = a regression somewhere).
+    pub worst_gain: f64,
+    /// Name of the workload with the worst gain.
+    pub worst_workload: String,
+    /// Cost (from the study that evaluated it).
+    pub cost: f64,
+    /// Geomean gain% per cost — the cross-workload ranking figure.
+    pub gain_per_cost: f64,
+    /// §4's veto: `true` when no workload regresses beyond `tolerance`.
+    pub safe: bool,
+}
+
+/// Aggregates per-workload studies into one ranking, enforcing the paper's
+/// §4 rule: "improve on identified or expected bottlenecks **without
+/// negative side effects for other possible use cases**". Options that
+/// regress any workload by more than `regression_tolerance` (fractional,
+/// e.g. `0.002` = 0.2 %) are marked unsafe and ranked after all safe ones.
+///
+/// # Panics
+///
+/// Panics if the studies evaluated different option sets.
+#[must_use]
+pub fn cross_workload_ranking(
+    studies: &[(String, OptionStudy)],
+    regression_tolerance: f64,
+) -> Vec<CrossEvaluation> {
+    let Some((_, first)) = studies.first() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for e in &first.evaluations {
+        let mut log_sum = 0.0;
+        let mut worst = (f64::INFINITY, String::new());
+        for (name, study) in studies {
+            let ev = study
+                .evaluations
+                .iter()
+                .find(|x| x.option == e.option)
+                .expect("all studies must evaluate the same options");
+            log_sum += ev.speedup.max(1e-9).ln();
+            if ev.gain < worst.0 {
+                worst = (ev.gain, name.clone());
+            }
+        }
+        let geomean = (log_sum / studies.len() as f64).exp();
+        let gain = geomean - 1.0;
+        let safe = worst.0 >= -regression_tolerance;
+        out.push(CrossEvaluation {
+            option: e.option,
+            geomean_speedup: geomean,
+            worst_gain: worst.0,
+            worst_workload: worst.1,
+            cost: e.cost,
+            gain_per_cost: gain * 100.0 / e.cost,
+            safe,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.safe.cmp(&a.safe).then(
+            b.gain_per_cost
+                .partial_cmp(&a.gain_per_cost)
+                .expect("finite"),
+        )
+    });
+    out
+}
+
+/// Renders a cross-workload ranking table.
+#[must_use]
+pub fn render_cross_ranking(rows: &[CrossEvaluation]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>9} {:>10} {:>20} {:>8} {:>11} {:>6}",
+        "option", "geomean", "worst", "worst on", "cost", "gain%/cost", "safe"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8.3}x {:>9.2}% {:>20} {:>8.1} {:>11.3} {:>6}",
+            r.option.label(),
+            r.geomean_speedup,
+            r.worst_gain * 100.0,
+            r.worst_workload,
+            r.cost,
+            r.gain_per_cost,
+            if r.safe { "yes" } else { "NO" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod cross_tests {
+    use super::*;
+
+    fn study(gains: &[(ArchOption, f64)]) -> OptionStudy {
+        let baseline = 100_000u64;
+        OptionStudy {
+            baseline_cycles: baseline,
+            evaluations: gains
+                .iter()
+                .map(|&(option, gain)| {
+                    let cycles = ((1.0 - gain) * baseline as f64) as u64;
+                    Evaluation {
+                        option,
+                        cycles,
+                        speedup: baseline as f64 / cycles as f64,
+                        gain,
+                        analytical_gain: None,
+                        cost: 10.0,
+                        gain_per_cost: gain * 100.0 / 10.0,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn regressing_options_are_flagged_and_demoted() {
+        let a = ArchOption::FlashWaitStates(3);
+        let b = ArchOption::FlashPrefetch(false);
+        let studies = vec![
+            ("w1".to_string(), study(&[(a, 0.10), (b, 0.30)])),
+            ("w2".to_string(), study(&[(a, 0.05), (b, -0.05)])),
+        ];
+        let rows = cross_workload_ranking(&studies, 0.002);
+        // b has the better geomean but regresses w2: a must rank first.
+        assert_eq!(rows[0].option, a);
+        assert!(rows[0].safe);
+        assert_eq!(rows[1].option, b);
+        assert!(!rows[1].safe);
+        assert_eq!(rows[1].worst_workload, "w2");
+        let r = render_cross_ranking(&rows);
+        assert!(r.contains("NO"), "{r}");
+    }
+
+    #[test]
+    fn geomean_is_balanced_across_workloads() {
+        let a = ArchOption::FlashWaitStates(4);
+        let studies = vec![
+            ("w1".to_string(), study(&[(a, 0.50)])),
+            ("w2".to_string(), study(&[(a, 0.00)])),
+        ];
+        let rows = cross_workload_ranking(&studies, 0.01);
+        // speedups 2.0 and 1.0 -> geomean sqrt(2) ≈ 1.414.
+        assert!((rows[0].geomean_speedup - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,326 @@
+//! Timelines: decoded rate samples arranged per metric over the time axis.
+//!
+//! "Dynamically, because it is essential to see all parameters values over
+//! the time line to identify the interesting spaces of time where the
+//! system performance is not optimal" (§5). A [`Timeline`] is that view:
+//! every metric's samples in parallel, on one clock.
+
+use std::collections::BTreeMap;
+
+use audo_common::Cycle;
+use audo_mcds::TraceMessage;
+
+use crate::metrics::{Combine, Metric};
+use crate::spec::ProbeMap;
+
+/// One sampled window of a metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Cycle at which the window completed.
+    pub cycle: Cycle,
+    /// Combined metric value.
+    pub value: f64,
+    /// Raw numerator (for ratios: the favourable count).
+    pub num: u64,
+    /// Raw denominator (for ratios: the unfavourable count).
+    pub den: u64,
+}
+
+/// All sampled series of one profiling session.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    series: BTreeMap<String, (Metric, Vec<Sample>)>,
+}
+
+impl Timeline {
+    /// Builds the timeline from decoded trace messages and the probe map.
+    #[must_use]
+    pub fn from_messages(messages: &[(Cycle, TraceMessage)], map: &ProbeMap) -> Timeline {
+        // Gather each probe's windows in arrival order.
+        let mut per_probe: BTreeMap<u8, Vec<(Cycle, u64, u64)>> = BTreeMap::new();
+        for (cycle, msg) in messages {
+            if let TraceMessage::Counter { probe, num, den } = msg {
+                per_probe
+                    .entry(*probe)
+                    .or_default()
+                    .push((*cycle, *num, *den));
+            }
+        }
+        let empty: Vec<(Cycle, u64, u64)> = Vec::new();
+        let mut series = BTreeMap::new();
+        for (metric, probes, _casc) in map.iter() {
+            let samples: Vec<Sample> = match metric.combine() {
+                Combine::Rate => {
+                    let w = per_probe.get(&probes[0]).unwrap_or(&empty);
+                    w.iter()
+                        .map(|&(cycle, num, den)| Sample {
+                            cycle,
+                            value: metric.value(num, den),
+                            num,
+                            den,
+                        })
+                        .collect()
+                }
+                Combine::RatioOfTwo => {
+                    let a = per_probe.get(&probes[0]).unwrap_or(&empty);
+                    let b = per_probe.get(&probes[1]).unwrap_or(&empty);
+                    a.iter()
+                        .zip(b.iter())
+                        .map(|(&(ca, na, _), &(cb, nb, _))| Sample {
+                            cycle: ca.max(cb),
+                            value: metric.value(na, nb),
+                            num: na,
+                            den: nb,
+                        })
+                        .collect()
+                }
+            };
+            series.insert(metric.name(), (metric, samples));
+        }
+        Timeline { series }
+    }
+
+    /// The metrics present.
+    #[must_use]
+    pub fn metrics(&self) -> Vec<Metric> {
+        self.series.values().map(|(m, _)| *m).collect()
+    }
+
+    /// The sample series of a metric (empty if absent).
+    #[must_use]
+    pub fn series(&self, metric: Metric) -> &[Sample] {
+        self.series
+            .get(&metric.name())
+            .map_or(&[], |(_, s)| s.as_slice())
+    }
+
+    /// Total `(num, den)` sums over all windows of a metric.
+    #[must_use]
+    pub fn totals(&self, metric: Metric) -> (u64, u64) {
+        self.series(metric)
+            .iter()
+            .fold((0, 0), |(n, d), s| (n + s.num, d + s.den))
+    }
+
+    /// Window-weighted average value of a metric.
+    #[must_use]
+    pub fn average(&self, metric: Metric) -> f64 {
+        let (n, d) = self.totals(metric);
+        metric.value(n, d)
+    }
+
+    /// The sample with the lowest value.
+    #[must_use]
+    pub fn min_sample(&self, metric: Metric) -> Option<Sample> {
+        self.series(metric)
+            .iter()
+            .copied()
+            .min_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values"))
+    }
+
+    /// The sample with the highest value.
+    #[must_use]
+    pub fn max_sample(&self, metric: Metric) -> Option<Sample> {
+        self.series(metric)
+            .iter()
+            .copied()
+            .max_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values"))
+    }
+
+    /// Samples of `metric` inside `[from, to]`.
+    #[must_use]
+    pub fn window(&self, metric: Metric, from: Cycle, to: Cycle) -> Vec<Sample> {
+        self.series(metric)
+            .iter()
+            .filter(|s| s.cycle >= from && s.cycle <= to)
+            .copied()
+            .collect()
+    }
+
+    /// Renders a metric as a fixed-width ASCII sparkline (for terminal
+    /// reports), scaled between the series min and max.
+    #[must_use]
+    pub fn sparkline(&self, metric: Metric, width: usize) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let s = self.series(metric);
+        if s.is_empty() || width == 0 {
+            return String::new();
+        }
+        let lo = s.iter().map(|x| x.value).fold(f64::INFINITY, f64::min);
+        let hi = s.iter().map(|x| x.value).fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-12);
+        let mut out = String::with_capacity(width * 3);
+        for i in 0..width {
+            // Average the samples belonging to this column.
+            let a = i * s.len() / width;
+            let b = (((i + 1) * s.len()) / width).max(a + 1).min(s.len());
+            let avg = s[a..b].iter().map(|x| x.value).sum::<f64>() / (b - a) as f64;
+            let level = (((avg - lo) / span) * 7.0).round() as usize;
+            out.push(GLYPHS[level.min(7)]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProfileSpec;
+
+    fn demo_timeline() -> Timeline {
+        let spec = ProfileSpec::new()
+            .metric(Metric::Ipc, 10)
+            .metric(Metric::IcacheHitRatio, 100);
+        let (_, map) = spec.compile().unwrap();
+        // Probe 0 = IPC, probes 1/2 = icache hits/misses.
+        let msgs = vec![
+            (
+                Cycle(10),
+                TraceMessage::Counter {
+                    probe: 0,
+                    num: 20,
+                    den: 10,
+                },
+            ),
+            (
+                Cycle(20),
+                TraceMessage::Counter {
+                    probe: 0,
+                    num: 10,
+                    den: 10,
+                },
+            ),
+            (
+                Cycle(30),
+                TraceMessage::Counter {
+                    probe: 0,
+                    num: 5,
+                    den: 10,
+                },
+            ),
+            (
+                Cycle(25),
+                TraceMessage::Counter {
+                    probe: 1,
+                    num: 96,
+                    den: 100,
+                },
+            ),
+            (
+                Cycle(25),
+                TraceMessage::Counter {
+                    probe: 2,
+                    num: 4,
+                    den: 100,
+                },
+            ),
+        ];
+        Timeline::from_messages(&msgs, &map)
+    }
+
+    #[test]
+    fn rate_series_values() {
+        let t = demo_timeline();
+        let s = t.series(Metric::Ipc);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].value, 2.0);
+        assert_eq!(s[2].value, 0.5);
+        assert_eq!(t.average(Metric::Ipc), 35.0 / 30.0);
+        assert_eq!(t.min_sample(Metric::Ipc).unwrap().cycle, Cycle(30));
+        assert_eq!(t.max_sample(Metric::Ipc).unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn ratio_series_pairs_probes() {
+        let t = demo_timeline();
+        let s = t.series(Metric::IcacheHitRatio);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].value, 0.96);
+        assert_eq!(s[0].cycle, Cycle(25));
+    }
+
+    #[test]
+    fn window_filters_by_cycle() {
+        let t = demo_timeline();
+        let w = t.window(Metric::Ipc, Cycle(15), Cycle(25));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].value, 1.0);
+    }
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let t = demo_timeline();
+        let sl = t.sparkline(Metric::Ipc, 8);
+        assert_eq!(sl.chars().count(), 8);
+        assert!(
+            t.sparkline(Metric::DcacheHitRatio, 8).is_empty(),
+            "absent metric"
+        );
+    }
+
+    #[test]
+    fn absent_metric_is_empty() {
+        let t = demo_timeline();
+        assert!(t.series(Metric::DmaBeatsPerKilocycle).is_empty());
+        assert_eq!(t.totals(Metric::DmaBeatsPerKilocycle), (0, 0));
+    }
+}
+
+impl Timeline {
+    /// Exports all series as CSV (`metric,cycle,value,num,den`), suitable
+    /// for external plotting tools.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("metric,cycle,value,num,den\n");
+        for (name, (_, samples)) in &self.series {
+            for s in samples {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{}",
+                    name, s.cycle.0, s.value, s.num, s.den
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+    use crate::metrics::Metric;
+    use crate::spec::ProfileSpec;
+    use audo_mcds::TraceMessage;
+
+    #[test]
+    fn csv_contains_every_sample() {
+        let spec = ProfileSpec::new().metric(Metric::Ipc, 10);
+        let (_, map) = spec.compile().unwrap();
+        let msgs = vec![
+            (
+                Cycle(10),
+                TraceMessage::Counter {
+                    probe: 0,
+                    num: 20,
+                    den: 10,
+                },
+            ),
+            (
+                Cycle(20),
+                TraceMessage::Counter {
+                    probe: 0,
+                    num: 5,
+                    den: 10,
+                },
+            ),
+        ];
+        let t = Timeline::from_messages(&msgs, &map);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "metric,cycle,value,num,den");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("IPC (TriCore),10,2,20,10"));
+        assert!(lines[2].contains("IPC (TriCore),20,0.5,5,10"));
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end tests of the `audo-prof` command-line tool.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn write_demo(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("demo.asm");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(
+        f,
+        "    .org 0x80000000
+_start:
+    movi d0, 0
+    li d1, 5000
+busy:
+    mac d2, d0, d1
+    addi d0, d0, 1
+    jne d0, d1, busy
+    halt"
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn audo_prof_profiles_a_program() {
+    let dir = std::env::temp_dir().join("audo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let asm = write_demo(&dir);
+    let csv = dir.join("out.csv");
+    let out = Command::new(env!("CARGO_BIN_EXE_audo-prof"))
+        .args([
+            asm.to_str().unwrap(),
+            "--window",
+            "1000",
+            "--metrics",
+            "ipc,stall",
+            "--trace",
+            "--csv",
+            csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("IPC (TriCore)"), "{stdout}");
+    assert!(stdout.contains("stall fraction"), "{stdout}");
+    assert!(stdout.contains("function profile"), "{stdout}");
+    assert!(stdout.contains("busy"), "hot function attributed: {stdout}");
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.starts_with("metric,cycle,value,num,den"));
+    assert!(csv_text.lines().count() > 5);
+}
+
+#[test]
+fn audo_prof_rejects_bad_input() {
+    let out = Command::new(env!("CARGO_BIN_EXE_audo-prof"))
+        .args(["/nonexistent.asm"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_audo-prof"))
+        .args(["x.asm", "--metrics", "bogus"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown metric"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_audo-prof"))
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

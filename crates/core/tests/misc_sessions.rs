@@ -1,0 +1,191 @@
+//! Additional end-to-end session scenarios: co-processor rate measurement
+//! and fault surfacing through the full stack.
+
+use audo_common::SimError;
+use audo_ed::{EdConfig, EmulationDevice};
+use audo_platform::config::SocConfig;
+use audo_profiler::metrics::Metric;
+use audo_profiler::session::{profile, SessionOptions};
+use audo_profiler::spec::ProfileSpec;
+use audo_tricore::asm::assemble;
+use audo_workloads::engine::{engine_control, EngineParams};
+
+/// §5: "there are also several other parameters for the System Profiling of
+/// the PCP, DMA and other resources" — measure the PCP's own IPC and the
+/// DMA beat rate alongside the CPU metrics, in one run.
+#[test]
+fn pcp_and_dma_rates_measured_alongside_cpu() {
+    let p = EngineParams {
+        rpm: 12_000,
+        target_teeth: 20,
+        can_period: 1_500,
+        can_on_pcp: true,
+        ..EngineParams::default()
+    };
+    let w = engine_control(&p);
+    let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+    w.install_ed(&mut ed).unwrap();
+    let spec = ProfileSpec::new()
+        .metric(Metric::Ipc, 2000)
+        .metric(Metric::PcpIpc, 2000)
+        .metric(Metric::DmaBeatsPerKilocycle, 2000);
+    let out = profile(
+        &mut ed,
+        &spec,
+        &SessionOptions {
+            max_cycles: w.max_cycles,
+            ..SessionOptions::default()
+        },
+    )
+    .unwrap();
+    let cpu_ipc = out.timeline.average(Metric::Ipc);
+    let pcp_ipc = out.timeline.average(Metric::PcpIpc);
+    let dma = out.timeline.average(Metric::DmaBeatsPerKilocycle);
+    assert!(cpu_ipc > 0.3, "CPU busy: {cpu_ipc}");
+    assert!(pcp_ipc > 0.0, "PCP executed CAN firmware: {pcp_ipc}");
+    assert!(pcp_ipc < cpu_ipc, "the PCP is a part-time helper");
+    assert!(dma > 0.1, "the ADC chain produced DMA beats: {dma}");
+    // Cross-check the PCP numerator against the engine's own counter.
+    let (pcp_instrs, _) = out.timeline.totals(Metric::PcpIpc);
+    let hw = ed.soc.pcp.retired_total();
+    assert!(
+        pcp_instrs <= hw && hw - pcp_instrs < 200,
+        "measured {pcp_instrs} vs hw {hw}"
+    );
+}
+
+/// A target program fault (data write into program flash) surfaces as a
+/// `ProgramFault` through the whole profiling stack, not as a panic.
+#[test]
+fn target_faults_surface_cleanly() {
+    let image = assemble(
+        "
+        .org 0x80000000
+    _start:
+        la a2, 0x80000100   ; program flash, not overlaid
+        movi d0, 1
+        st.w d0, [a2]       ; illegal: flash is not writable
+        halt
+    ",
+    )
+    .unwrap();
+    let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+    ed.soc.load_image(&image).unwrap();
+    let spec = ProfileSpec::new().metric(Metric::Ipc, 100);
+    let err = profile(&mut ed, &spec, &SessionOptions::default()).unwrap_err();
+    assert!(matches!(err, SimError::ProgramFault { .. }), "{err}");
+}
+
+/// Unmapped accesses likewise.
+#[test]
+fn unmapped_access_faults_cleanly() {
+    let image = assemble(
+        "
+        .org 0x80000000
+    _start:
+        la a2, 0x12345678
+        ld.w d0, [a2]
+        halt
+    ",
+    )
+    .unwrap();
+    let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+    ed.soc.load_image(&image).unwrap();
+    let err = profile(
+        &mut ed,
+        &ProfileSpec::new().metric(Metric::Ipc, 100),
+        &SessionOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::UnmappedAddress { .. }), "{err}");
+}
+
+/// CSA exhaustion from runaway recursion is a clean fault too.
+#[test]
+fn csa_exhaustion_faults_cleanly() {
+    let image = assemble(
+        "
+        .org 0x80000000
+    _start:
+        call rec
+        halt
+    rec:
+        call rec
+        ret
+    ",
+    )
+    .unwrap();
+    let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+    ed.soc.load_image(&image).unwrap();
+    let err = profile(
+        &mut ed,
+        &ProfileSpec::new().metric(Metric::Ipc, 100),
+        &SessionOptions::default(),
+    )
+    .unwrap_err();
+    match err {
+        SimError::ProgramFault { ref message } => {
+            assert!(message.contains("CSA"), "{message}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+/// A "measure everything" session on enlarged MCDS silicon (all catalogue
+/// metrics at once), and the same software on the TC1767-class sibling.
+#[test]
+fn wide_session_and_device_presets() {
+    use audo_mcds::McdsResources;
+    use audo_profiler::metrics::ALL_BASIC_METRICS;
+    let p = EngineParams {
+        rpm: 6000,
+        target_teeth: 15,
+        ..EngineParams::default()
+    };
+    let w = engine_control(&p);
+    let spec = ProfileSpec::new()
+        .metrics(ALL_BASIC_METRICS, 2000)
+        .with_resources(McdsResources {
+            rate_probes: 32,
+            counters: 8,
+            comparators: 8,
+            transitions: 16,
+        });
+    let run = |cfg: SocConfig| {
+        let mut ed = EmulationDevice::new(cfg, EdConfig::default());
+        w.install_ed(&mut ed).unwrap();
+        profile(
+            &mut ed,
+            &spec,
+            &SessionOptions {
+                max_cycles: w.max_cycles,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let hi = run(SocConfig::tc1797());
+    let lo = run(SocConfig::tc1767());
+    for m in ALL_BASIC_METRICS {
+        assert!(
+            !hi.timeline.series(*m).is_empty(),
+            "{m:?} sampled on tc1797"
+        );
+        assert!(
+            !lo.timeline.series(*m).is_empty(),
+            "{m:?} sampled on tc1767"
+        );
+    }
+    // Same software runs on both devices (compatibility), but the smaller
+    // device with no D-cache works harder for the same teeth.
+    assert!(hi.halted && lo.halted);
+    assert!(
+        lo.timeline.average(Metric::Ipc) < hi.timeline.average(Metric::Ipc),
+        "the cache-less sibling has lower IPC"
+    );
+    assert_eq!(
+        lo.timeline.average(Metric::DcacheHitRatio),
+        0.0,
+        "no D-cache on the TC1767-class device"
+    );
+}

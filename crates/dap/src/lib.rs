@@ -1,0 +1,275 @@
+//! Model of the DAP/JTAG tool link: the bandwidth-limited path between the
+//! Emulation Device and the host tool.
+//!
+//! DAP is Infineon's two-pin debug interface; the paper stresses twice that
+//! "the bandwidth of the tool interface does not scale with the CPU
+//! frequency" — which is why computing rates *on chip* and shipping one
+//! small message (instead of sampling two long counters from outside) is
+//! the sustainable approach. This crate models exactly that budget:
+//!
+//! * [`DapLink`] accrues payload bytes per CPU cycle from the DAP clock,
+//!   pin count and protocol efficiency, independent of the CPU clock,
+//! * register polling (the "external sampling" alternative) has a fixed
+//!   per-access packet cost and a round-trip latency,
+//! * the MLI monitor path ([`MliMonitor`]) models the *intrusive*
+//!   alternative of §3 where a monitor routine running on the TriCore
+//!   services the tool — stealing CPU cycles from the application.
+
+use audo_common::{Cycle, Freq};
+
+/// Tool-link configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DapConfig {
+    /// DAP interface clock (fixed by cable/tool, *not* by the SoC).
+    pub dap_clock: Freq,
+    /// Data pins usable for payload (DAP: 1 data + 1 clock; wide JTAG
+    /// variants can use more).
+    pub data_pins: u8,
+    /// Fraction of raw bits that are payload (framing/CRC overhead).
+    pub efficiency: f64,
+    /// The target CPU clock, to convert budgets into CPU cycles.
+    pub cpu_clock: Freq,
+    /// Payload bytes exchanged per single register read (address packet,
+    /// data packet, turnaround).
+    pub reg_read_cost: u32,
+    /// Payload bytes per single register write.
+    pub reg_write_cost: u32,
+}
+
+impl Default for DapConfig {
+    /// DAP at 100 MHz, one data pin, 80 % efficiency, against a 150 MHz CPU.
+    fn default() -> DapConfig {
+        DapConfig {
+            dap_clock: Freq::mhz(100),
+            data_pins: 1,
+            efficiency: 0.8,
+            cpu_clock: Freq::mhz(150),
+            reg_read_cost: 10,
+            reg_write_cost: 10,
+        }
+    }
+}
+
+impl DapConfig {
+    /// Payload bytes per second the link can carry.
+    #[must_use]
+    pub fn bytes_per_second(&self) -> f64 {
+        self.dap_clock.0 as f64 * f64::from(self.data_pins) * self.efficiency / 8.0
+    }
+
+    /// Payload bytes per *CPU* cycle (the number that does not improve when
+    /// the CPU gets faster).
+    #[must_use]
+    pub fn bytes_per_cpu_cycle(&self) -> f64 {
+        self.bytes_per_second() / self.cpu_clock.0 as f64
+    }
+
+    /// Maximum register polls per second ("external sampling" mode). Each
+    /// poll reads `regs` registers.
+    #[must_use]
+    pub fn polls_per_second(&self, regs: u32) -> f64 {
+        self.bytes_per_second() / f64::from(self.reg_read_cost * regs)
+    }
+}
+
+/// A running DAP link: tracks the accumulated byte budget as simulated time
+/// advances.
+///
+/// # Examples
+///
+/// ```
+/// use audo_dap::{DapConfig, DapLink};
+///
+/// let mut link = DapLink::new(DapConfig::default());
+/// link.advance_cycles(150); // 1 µs of CPU time at 150 MHz
+/// // 100 Mbit/s × 0.8 / 8 = 10 MB/s → 10 bytes per µs.
+/// assert_eq!(link.available(), 10);
+/// assert_eq!(link.take(4), 4);
+/// assert_eq!(link.available(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DapLink {
+    cfg: DapConfig,
+    /// Budget in millibytes to avoid float drift.
+    budget_millibytes: u64,
+    transferred: u64,
+    now: Cycle,
+}
+
+impl DapLink {
+    /// Creates an idle link at cycle 0.
+    #[must_use]
+    pub fn new(cfg: DapConfig) -> DapLink {
+        DapLink {
+            cfg,
+            budget_millibytes: 0,
+            transferred: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &DapConfig {
+        &self.cfg
+    }
+
+    /// Advances simulated time by `cycles` CPU cycles, accruing budget.
+    pub fn advance_cycles(&mut self, cycles: u64) {
+        self.now += cycles;
+        let mb_per_cycle = self.cfg.bytes_per_cpu_cycle() * 1000.0;
+        self.budget_millibytes += (mb_per_cycle * cycles as f64) as u64;
+    }
+
+    /// Whole payload bytes currently available.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        (self.budget_millibytes / 1000) as usize
+    }
+
+    /// Consumes up to `want` bytes of budget; returns what was granted.
+    pub fn take(&mut self, want: usize) -> usize {
+        let got = want.min(self.available());
+        self.budget_millibytes -= got as u64 * 1000;
+        self.transferred += got as u64;
+        got
+    }
+
+    /// Spends the cost of one register read; returns `false` (and spends
+    /// nothing) if the budget is insufficient.
+    pub fn take_register_read(&mut self) -> bool {
+        let cost = self.cfg.reg_read_cost as usize;
+        if self.available() >= cost {
+            self.take(cost);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Spends the cost of one register write; returns `false` if the budget
+    /// is insufficient.
+    pub fn take_register_write(&mut self) -> bool {
+        let cost = self.cfg.reg_write_cost as usize;
+        if self.available() >= cost {
+            self.take(cost);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total payload bytes moved over the link's lifetime.
+    #[must_use]
+    pub fn transferred(&self) -> u64 {
+        self.transferred
+    }
+
+    /// Current link time (CPU cycles).
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+}
+
+/// The intrusive MLI/monitor access path of §3: "a tool can communicate
+/// over a user interface like CAN or FlexRay with a monitor routine,
+/// running on TriCore, which then accesses the EEC".
+///
+/// Instead of a dedicated link budget, every transferred chunk costs *CPU
+/// cycles* on the target — the defining drawback the non-intrusive ED/DAP
+/// path avoids.
+#[derive(Debug, Clone)]
+pub struct MliMonitor {
+    /// CPU cycles the monitor routine burns per transferred byte.
+    pub cycles_per_byte: u64,
+    /// CPU cycles of fixed overhead per monitor invocation.
+    pub cycles_per_invocation: u64,
+}
+
+impl Default for MliMonitor {
+    fn default() -> MliMonitor {
+        MliMonitor {
+            cycles_per_byte: 20,
+            cycles_per_invocation: 400,
+        }
+    }
+}
+
+impl MliMonitor {
+    /// CPU cycles stolen from the application to move `bytes` bytes in one
+    /// monitor invocation.
+    #[must_use]
+    pub fn intrusion_cycles(&self, bytes: u64) -> u64 {
+        self.cycles_per_invocation + self.cycles_per_byte * bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_is_independent_of_cpu_clock() {
+        let slow = DapConfig {
+            cpu_clock: Freq::mhz(80),
+            ..DapConfig::default()
+        };
+        let fast = DapConfig {
+            cpu_clock: Freq::mhz(300),
+            ..DapConfig::default()
+        };
+        assert_eq!(slow.bytes_per_second(), fast.bytes_per_second());
+        // ...but per-CPU-cycle budget shrinks as the CPU speeds up.
+        assert!(slow.bytes_per_cpu_cycle() > fast.bytes_per_cpu_cycle());
+    }
+
+    #[test]
+    fn budget_accrues_and_caps_consumption() {
+        let mut link = DapLink::new(DapConfig::default());
+        assert_eq!(link.available(), 0);
+        assert_eq!(link.take(100), 0);
+        link.advance_cycles(1500); // 10 µs -> 100 bytes
+        assert_eq!(link.available(), 100);
+        assert_eq!(link.take(60), 60);
+        assert_eq!(link.take(60), 40, "only the remainder");
+        assert_eq!(link.transferred(), 100);
+    }
+
+    #[test]
+    fn fractional_budget_accumulates_without_loss() {
+        let mut link = DapLink::new(DapConfig::default());
+        // 1 cycle at a time: 0.0666 B/cycle must still add up.
+        for _ in 0..1500 {
+            link.advance_cycles(1);
+        }
+        let got = link.available();
+        assert!((95..=100).contains(&got), "~100 bytes expected, got {got}");
+    }
+
+    #[test]
+    fn register_polling_costs_budget() {
+        let mut link = DapLink::new(DapConfig::default());
+        link.advance_cycles(1500); // 100 bytes
+        let mut polls = 0;
+        while link.take_register_read() {
+            polls += 1;
+        }
+        assert_eq!(polls, 10, "10 bytes per read");
+        assert!(!link.take_register_write(), "budget exhausted");
+    }
+
+    #[test]
+    fn poll_rate_formula() {
+        let cfg = DapConfig::default();
+        // 10 MB/s / (10 B * 2 regs) = 500k polls/s.
+        assert_eq!(cfg.polls_per_second(2), 500_000.0);
+    }
+
+    #[test]
+    fn mli_monitor_is_intrusive() {
+        let m = MliMonitor::default();
+        assert_eq!(m.intrusion_cycles(0), 400);
+        assert_eq!(m.intrusion_cycles(100), 400 + 2000);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the trace controller's accounting invariants.
+
+use audo_ed::{TraceController, TraceMode};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..200).prop_map(Op::Push),
+            (0u32..200).prop_map(Op::Pop)
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, ..ProptestConfig::default() })]
+
+    /// In both modes: level never exceeds capacity, and every accepted byte
+    /// is either still stored, already popped, or counted as lost.
+    #[test]
+    fn byte_accounting_balances(
+        ops in arb_ops(),
+        capacity in 1u32..256,
+        ring in any::<bool>(),
+    ) {
+        let mode = if ring { TraceMode::Ring } else { TraceMode::Linear };
+        let mut tc = TraceController::new(capacity, mode);
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Push(n) => {
+                    let placed: u64 =
+                        tc.push(n).iter().map(|p| u64::from(p.len)).sum();
+                    prop_assert!(placed <= u64::from(n));
+                    pushed += u64::from(n);
+                }
+                Op::Pop(n) => {
+                    let got: u64 = tc.pop(n).iter().map(|p| u64::from(p.len)).sum();
+                    prop_assert!(got <= u64::from(n));
+                    popped += got;
+                }
+            }
+            prop_assert!(tc.level() <= tc.capacity(), "level within capacity");
+        }
+        prop_assert_eq!(
+            pushed,
+            popped + tc.level() + tc.lost(),
+            "pushed = popped + stored + lost"
+        );
+    }
+
+    /// Placements returned by push/pop always lie inside the region and
+    /// cover exactly the reported byte counts.
+    #[test]
+    fn placements_stay_in_region(ops in arb_ops(), capacity in 1u32..128) {
+        let mut tc = TraceController::new(capacity, TraceMode::Ring);
+        for op in &ops {
+            let placements = match *op {
+                Op::Push(n) => tc.push(n),
+                Op::Pop(n) => tc.pop(n),
+            };
+            prop_assert!(placements.len() <= 2, "at most one wrap");
+            for p in &placements {
+                prop_assert!(p.len > 0, "no empty placements");
+                prop_assert!(
+                    u64::from(p.region_offset) + u64::from(p.len) <= u64::from(capacity),
+                    "placement inside the region"
+                );
+            }
+            if placements.len() == 2 {
+                prop_assert_eq!(placements[1].region_offset, 0, "wrap lands at offset 0");
+            }
+        }
+    }
+
+    /// Linear mode never overwrites: without pops, the first `capacity`
+    /// bytes pushed are exactly the stored ones.
+    #[test]
+    fn linear_mode_is_prefix_preserving(pushes in proptest::collection::vec(1u32..64, 1..50)) {
+        let capacity = 100u32;
+        let mut tc = TraceController::new(capacity, TraceMode::Linear);
+        let mut accepted = 0u64;
+        for &n in &pushes {
+            let placed: u64 = tc.push(n).iter().map(|p| u64::from(p.len)).sum();
+            accepted += placed;
+        }
+        let total: u64 = pushes.iter().map(|&n| u64::from(n)).sum();
+        prop_assert_eq!(accepted, total.min(u64::from(capacity)));
+        prop_assert_eq!(tc.level(), accepted);
+        prop_assert_eq!(tc.lost(), total - accepted);
+    }
+}

@@ -1,0 +1,33 @@
+//! Model of the **MCDS** (Multi-Core Debug Solution): the configurable
+//! trigger, trace-qualification and trace-compression block of the
+//! Emulation Extension Chip (Mayer & Hellwig, DATE 2008, §3 and Fig. 5).
+//!
+//! The MCDS consumes the per-cycle observation stream of the simulated SoC
+//! (events + bus transactions) and produces a compressed trace byte stream:
+//!
+//! * [`select`] — programmable event selectors (cache hits/misses, bus
+//!   contention, flash buffer activity, stalls, …),
+//! * [`trigger`] — comparators, counters, boolean combiners and trigger
+//!   state machines ("trigger on events not happening in a defined time
+//!   window" is expressible),
+//! * [`rates`] — on-chip rate measurement with cycle or
+//!   per-executed-instruction bases and cascaded multi-resolution groups
+//!   (the Enhanced System Profiling primitive),
+//! * [`msg`] — the compressed, cycle-timestamped message protocol,
+//! * [`mcds`] — the assembled block with finite, configurable resources.
+//!
+//! This crate is host/silicon agnostic: it depends only on `audo-common`.
+//! The `audo-ed` crate wires it to the simulated SoC and the emulation
+//! memory; the `audo-profiler` crate programs it and decodes its output.
+
+pub mod mcds;
+pub mod msg;
+pub mod rates;
+pub mod select;
+pub mod trigger;
+
+pub use mcds::{DataQualifier, Mcds, McdsBuilder, McdsResources};
+pub use msg::{decode_stream, Encoder, TraceMessage};
+pub use rates::{Basis, RateProbe};
+pub use select::{EventClass, EventSelector};
+pub use trigger::{Action, Comparator, Cond, StateMachine, TraceUnit, Transition};

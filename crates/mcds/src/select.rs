@@ -1,0 +1,286 @@
+//! Event selectors: which hardware events a counter or probe taps.
+//!
+//! The AUDO FUTURE MCDS "taps directly performance relevant event sources
+//! like cache hits/misses, bus contentions, etc." (§3). An
+//! [`EventSelector`] is the programmable mux in front of a counter: it
+//! picks an event class and optionally restricts the emitting block.
+
+use audo_common::events::{CacheId, FlashPort, StallReason};
+use audo_common::{AccessKind, EventRecord, PerfEvent, SourceId};
+
+/// Event classes a counter can count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EventClass {
+    /// Every cycle (the resolution basis for IPC).
+    Cycles,
+    /// Instructions retired (weighted by per-cycle retire count).
+    InstrRetired,
+    /// Instruction-cache hits.
+    IcacheHit,
+    /// Instruction-cache misses.
+    IcacheMiss,
+    /// Data-cache hits.
+    DcacheHit,
+    /// Data-cache misses.
+    DcacheMiss,
+    /// Flash read-buffer hits on a port (`None` = both ports).
+    FlashBufferHit(Option<FlashPort>),
+    /// Flash read-buffer misses on a port (`None` = both ports).
+    FlashBufferMiss(Option<FlashPort>),
+    /// Code fetches that reached the flash array path.
+    FlashCodeFetch,
+    /// Flash port-arbitration conflicts.
+    FlashPortConflict,
+    /// Data accesses to a region (`None` kind = reads and writes).
+    DataAccess {
+        region: audo_common::events::MemRegion,
+        kind: Option<AccessKind>,
+    },
+    /// Crossbar contention events.
+    BusContention,
+    /// Crossbar grants.
+    BusGrant,
+    /// Service requests raised.
+    IrqRaised,
+    /// Interrupts accepted by the CPU.
+    IrqTaken,
+    /// DMA beats moved.
+    DmaBeat,
+    /// Pipeline stall cycles (`None` = any reason).
+    Stall(Option<StallReason>),
+    /// Control-flow discontinuities retired.
+    FlowChange,
+    /// Software debug markers (`None` = any code).
+    DebugMarker(Option<u8>),
+}
+
+/// A programmable event selector: class plus optional source filter.
+///
+/// # Examples
+///
+/// ```
+/// use audo_common::{Cycle, EventRecord, PerfEvent, SourceId};
+/// use audo_mcds::select::{EventClass, EventSelector};
+///
+/// let sel = EventSelector::of(EventClass::InstrRetired).from(SourceId::TRICORE);
+/// let rec = EventRecord {
+///     cycle: Cycle(1),
+///     source: SourceId::TRICORE,
+///     event: PerfEvent::InstrRetired { count: 3 },
+/// };
+/// assert_eq!(sel.weight(&rec), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventSelector {
+    /// The event class to count.
+    pub class: EventClass,
+    /// Restrict to one emitting block (`None` = any).
+    pub source: Option<SourceId>,
+}
+
+impl EventSelector {
+    /// Selector for `class` from any source.
+    #[must_use]
+    pub fn of(class: EventClass) -> EventSelector {
+        EventSelector {
+            class,
+            source: None,
+        }
+    }
+
+    /// Restricts the selector to events emitted by `source`.
+    #[must_use]
+    pub fn from(mut self, source: SourceId) -> EventSelector {
+        self.source = Some(source);
+        self
+    }
+
+    /// How much `rec` contributes to a counter with this selector
+    /// (0 = no match; `InstrRetired` contributes its retire count).
+    #[must_use]
+    pub fn weight(&self, rec: &EventRecord) -> u64 {
+        if let Some(src) = self.source {
+            if rec.source != src {
+                return 0;
+            }
+        }
+        use EventClass as C;
+        use PerfEvent as E;
+        match (self.class, &rec.event) {
+            (C::Cycles, _) => 0, // cycles are counted by the clock, not events
+            (C::InstrRetired, E::InstrRetired { count }) => u64::from(*count),
+            (
+                C::IcacheHit,
+                E::CacheHit {
+                    cache: CacheId::Instruction,
+                },
+            ) => 1,
+            (
+                C::IcacheMiss,
+                E::CacheMiss {
+                    cache: CacheId::Instruction,
+                },
+            ) => 1,
+            (
+                C::DcacheHit,
+                E::CacheHit {
+                    cache: CacheId::Data,
+                },
+            ) => 1,
+            (
+                C::DcacheMiss,
+                E::CacheMiss {
+                    cache: CacheId::Data,
+                },
+            ) => 1,
+            (C::FlashBufferHit(want), E::FlashBufferHit { port }) => {
+                u64::from(want.is_none() || want == Some(*port))
+            }
+            (C::FlashBufferMiss(want), E::FlashBufferMiss { port }) => {
+                u64::from(want.is_none() || want == Some(*port))
+            }
+            (C::FlashCodeFetch, E::FlashCodeFetch) => 1,
+            (C::FlashPortConflict, E::FlashPortConflict { .. }) => 1,
+            (C::DataAccess { region, kind }, E::DataAccess { region: r, kind: k }) => {
+                u64::from(region == *r && (kind.is_none() || kind == Some(*k)))
+            }
+            (C::BusContention, E::BusContention { .. }) => 1,
+            (C::BusGrant, E::BusGrant { .. }) => 1,
+            (C::IrqRaised, E::IrqRaised { .. }) => 1,
+            (C::IrqTaken, E::IrqTaken { .. }) => 1,
+            (C::DmaBeat, E::DmaBeat { .. }) => 1,
+            (C::Stall(want), E::Stall { reason }) => {
+                u64::from(want.is_none() || want == Some(*reason))
+            }
+            (C::FlowChange, E::FlowChange { .. }) => 1,
+            (C::DebugMarker(want), E::DebugMarker { code }) => {
+                u64::from(want.is_none() || want == Some(*code))
+            }
+            _ => 0,
+        }
+    }
+
+    /// Contribution per cycle independent of events (only `Cycles` has one).
+    #[must_use]
+    pub fn per_cycle_weight(&self) -> u64 {
+        u64::from(self.class == EventClass::Cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audo_common::Cycle;
+
+    fn rec(source: SourceId, event: PerfEvent) -> EventRecord {
+        EventRecord {
+            cycle: Cycle(0),
+            source,
+            event,
+        }
+    }
+
+    #[test]
+    fn source_filter_applies() {
+        let sel = EventSelector::of(EventClass::InstrRetired).from(SourceId::TRICORE);
+        assert_eq!(
+            sel.weight(&rec(
+                SourceId::TRICORE,
+                PerfEvent::InstrRetired { count: 2 }
+            )),
+            2
+        );
+        assert_eq!(
+            sel.weight(&rec(SourceId::PCP, PerfEvent::InstrRetired { count: 2 })),
+            0
+        );
+        let any = EventSelector::of(EventClass::InstrRetired);
+        assert_eq!(
+            any.weight(&rec(SourceId::PCP, PerfEvent::InstrRetired { count: 2 })),
+            2
+        );
+    }
+
+    #[test]
+    fn cache_selectors_distinguish_caches() {
+        let ihit = EventSelector::of(EventClass::IcacheHit);
+        let dhit = EventSelector::of(EventClass::DcacheHit);
+        let e = rec(
+            SourceId::TRICORE,
+            PerfEvent::CacheHit {
+                cache: CacheId::Instruction,
+            },
+        );
+        assert_eq!(ihit.weight(&e), 1);
+        assert_eq!(dhit.weight(&e), 0);
+    }
+
+    #[test]
+    fn port_and_kind_filters() {
+        let code_miss = EventSelector::of(EventClass::FlashBufferMiss(Some(FlashPort::Code)));
+        let any_miss = EventSelector::of(EventClass::FlashBufferMiss(None));
+        let e = rec(
+            SourceId::PMU,
+            PerfEvent::FlashBufferMiss {
+                port: FlashPort::Data,
+            },
+        );
+        assert_eq!(code_miss.weight(&e), 0);
+        assert_eq!(any_miss.weight(&e), 1);
+
+        use audo_common::events::MemRegion;
+        let reads = EventSelector::of(EventClass::DataAccess {
+            region: MemRegion::PFlash,
+            kind: Some(AccessKind::Read),
+        });
+        let e = rec(
+            SourceId::TRICORE,
+            PerfEvent::DataAccess {
+                region: MemRegion::PFlash,
+                kind: AccessKind::Read,
+            },
+        );
+        assert_eq!(reads.weight(&e), 1);
+        let e2 = rec(
+            SourceId::TRICORE,
+            PerfEvent::DataAccess {
+                region: MemRegion::Sram,
+                kind: AccessKind::Read,
+            },
+        );
+        assert_eq!(reads.weight(&e2), 0);
+    }
+
+    #[test]
+    fn cycles_counts_per_cycle_not_per_event() {
+        let sel = EventSelector::of(EventClass::Cycles);
+        assert_eq!(sel.per_cycle_weight(), 1);
+        assert_eq!(
+            sel.weight(&rec(
+                SourceId::TRICORE,
+                PerfEvent::InstrRetired { count: 1 }
+            )),
+            0
+        );
+        assert_eq!(
+            EventSelector::of(EventClass::InstrRetired).per_cycle_weight(),
+            0
+        );
+    }
+
+    #[test]
+    fn stall_reason_filter() {
+        use audo_common::events::StallReason;
+        let any = EventSelector::of(EventClass::Stall(None));
+        let fetch = EventSelector::of(EventClass::Stall(Some(StallReason::Fetch)));
+        let e = rec(
+            SourceId::TRICORE,
+            PerfEvent::Stall {
+                reason: StallReason::Data,
+            },
+        );
+        assert_eq!(any.weight(&e), 1);
+        assert_eq!(fetch.weight(&e), 0);
+    }
+}

@@ -1,0 +1,426 @@
+//! The MCDS trigger unit: comparators, trigger counters, boolean event
+//! combiners and trigger state machines.
+//!
+//! "Since the on-chip trace memory is limited, it is very important to be
+//! able to trigger close to the point of interest. For this purpose MCDS
+//! allows to define very complex conditions using Boolean expressions,
+//! counters and state machines" (§3). This module is that machinery:
+//! comparators turn raw observations into per-cycle facts, [`Cond`] trees
+//! combine them, and a [`StateMachine`] sequences them into actions.
+
+use audo_common::{AccessKind, Addr, BusTransaction, EventRecord, PerfEvent, SourceId};
+
+use crate::select::EventSelector;
+
+/// A hardware comparator: produces one boolean per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Comparator {
+    /// A change-of-flow retired with its target in `[lo, hi]`.
+    ///
+    /// (Like the real MCDS, program-address matching observes the trace
+    /// interface, i.e. discontinuity targets, not every sequential PC.)
+    FlowTarget {
+        /// Lowest matching address.
+        lo: Addr,
+        /// Highest matching address (inclusive).
+        hi: Addr,
+        /// Restrict to one core.
+        source: Option<SourceId>,
+    },
+    /// A data access touched `[lo, hi]`.
+    DataAddr {
+        /// Lowest matching address.
+        lo: Addr,
+        /// Highest matching address (inclusive).
+        hi: Addr,
+        /// Restrict to reads or writes.
+        kind: Option<AccessKind>,
+        /// Restrict to one master.
+        source: Option<SourceId>,
+    },
+    /// Any event matched by the selector occurred this cycle.
+    Event(EventSelector),
+    /// A `DEBUG` instruction with this code retired.
+    DebugCode(u8),
+}
+
+impl Comparator {
+    /// Evaluates the comparator against one cycle's observations.
+    #[must_use]
+    pub fn matches(&self, events: &[EventRecord], bus: &[BusTransaction]) -> bool {
+        match *self {
+            Comparator::FlowTarget { lo, hi, source } => events.iter().any(|e| {
+                source.is_none_or(|s| e.source == s)
+                    && matches!(e.event, PerfEvent::FlowChange { to, .. } if to >= lo && to <= hi)
+            }),
+            Comparator::DataAddr {
+                lo,
+                hi,
+                kind,
+                source,
+            } => {
+                let ev = events.iter().any(|e| {
+                    source.is_none_or(|s| e.source == s)
+                        && matches!(e.event, PerfEvent::DataValue { addr, kind: k, .. }
+                            if addr >= lo && addr <= hi && kind.is_none_or(|want| want == k))
+                });
+                ev || bus.iter().any(|t| {
+                    t.addr >= lo
+                        && t.addr <= hi
+                        && kind.is_none_or(|want| want == t.kind)
+                        && source.is_none_or(|s| t.master == s)
+                })
+            }
+            Comparator::Event(sel) => events.iter().any(|e| sel.weight(e) > 0),
+            Comparator::DebugCode(code) => events
+                .iter()
+                .any(|e| matches!(e.event, PerfEvent::DebugMarker { code: c } if c == code)),
+        }
+    }
+}
+
+/// A boolean combiner over comparators, counters, probe rates and the
+/// state-machine state.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Cond {
+    /// Always true.
+    True,
+    /// Comparator `idx` matched this cycle.
+    Comp(usize),
+    /// Trigger counter `idx` has reached `value`.
+    CounterAtLeast {
+        /// Counter index.
+        counter: usize,
+        /// Threshold.
+        value: u64,
+    },
+    /// Rate probe `probe`'s last completed window was strictly below
+    /// `num` events per `den` basis units.
+    RateBelow {
+        /// Probe index.
+        probe: u8,
+        /// Numerator of the threshold fraction.
+        num: u64,
+        /// Denominator of the threshold fraction.
+        den: u64,
+    },
+    /// Logical AND.
+    And(Box<Cond>, Box<Cond>),
+    /// Logical OR.
+    Or(Box<Cond>, Box<Cond>),
+    /// Logical NOT.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// `a AND b` helper.
+    #[must_use]
+    pub fn and(a: Cond, b: Cond) -> Cond {
+        Cond::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a OR b` helper.
+    #[must_use]
+    pub fn or(a: Cond, b: Cond) -> Cond {
+        Cond::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `NOT a` helper.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // combinator DSL, not ops::Not
+    pub fn not(a: Cond) -> Cond {
+        Cond::Not(Box::new(a))
+    }
+
+    /// Evaluates against one cycle's trigger facts.
+    #[must_use]
+    pub fn eval(&self, facts: &TriggerFacts<'_>) -> bool {
+        match self {
+            Cond::True => true,
+            Cond::Comp(i) => facts.comp_matches.get(*i).copied().unwrap_or(false),
+            Cond::CounterAtLeast { counter, value } => {
+                facts.counter_values.get(*counter).copied().unwrap_or(0) >= *value
+            }
+            Cond::RateBelow { probe, num, den } => {
+                match facts.last_rates.get(usize::from(*probe)).copied().flatten() {
+                    // rate < num/den  <=>  r_num * den < num * r_den
+                    Some((r_num, r_den)) => r_num.saturating_mul(*den) < num.saturating_mul(r_den),
+                    None => false,
+                }
+            }
+            Cond::And(a, b) => a.eval(facts) && b.eval(facts),
+            Cond::Or(a, b) => a.eval(facts) || b.eval(facts),
+            Cond::Not(a) => !a.eval(facts),
+        }
+    }
+}
+
+/// One cycle's evaluated trigger inputs.
+#[derive(Debug)]
+pub struct TriggerFacts<'a> {
+    /// Per-comparator match flags.
+    pub comp_matches: &'a [bool],
+    /// Current trigger-counter values.
+    pub counter_values: &'a [u64],
+    /// Per-probe last completed `(num, den)` window.
+    pub last_rates: &'a [Option<(u64, u64)>],
+}
+
+/// Actions a state-machine transition can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Action {
+    /// Enable a trace unit.
+    TraceOn(TraceUnit),
+    /// Disable a trace unit.
+    TraceOff(TraceUnit),
+    /// Emit a watchpoint message with this code.
+    EmitWatchpoint(u8),
+    /// Arm a probe group (cascaded high-resolution capture).
+    ArmGroup(u8),
+    /// Disarm a probe group.
+    DisarmGroup(u8),
+    /// Reset trigger counter `idx` to zero.
+    ResetCounter(usize),
+    /// Freeze all message production (post-trigger stop).
+    StopCapture,
+}
+
+/// The trace units the trigger can gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceUnit {
+    /// TriCore program-flow trace.
+    ProgramTricore,
+    /// Qualified data trace.
+    Data,
+    /// Bus-transaction trace.
+    Bus,
+    /// PCP channel-activity trace.
+    Pcp,
+}
+
+/// One state-machine transition.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Source state.
+    pub from: u8,
+    /// Guard condition.
+    pub cond: Cond,
+    /// Destination state.
+    pub to: u8,
+    /// Actions fired when taken.
+    pub actions: Vec<Action>,
+}
+
+/// The trigger state machine (state 0 at reset; first matching transition
+/// per cycle wins).
+#[derive(Debug, Clone, Default)]
+pub struct StateMachine {
+    /// Transition table.
+    pub transitions: Vec<Transition>,
+    state: u8,
+}
+
+impl StateMachine {
+    /// Creates a machine from its transition table.
+    #[must_use]
+    pub fn new(transitions: Vec<Transition>) -> StateMachine {
+        StateMachine {
+            transitions,
+            state: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> u8 {
+        self.state
+    }
+
+    /// Evaluates one cycle; returns the actions of the taken transition.
+    pub fn step(&mut self, facts: &TriggerFacts<'_>) -> &[Action] {
+        let state = self.state;
+        for (i, t) in self.transitions.iter().enumerate() {
+            if t.from == state && t.cond.eval(facts) {
+                self.state = t.to;
+                return &self.transitions[i].actions;
+            }
+        }
+        &[]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audo_common::events::FlowKind;
+    use audo_common::Cycle;
+
+    fn flow_event(to: u32) -> EventRecord {
+        EventRecord {
+            cycle: Cycle(0),
+            source: SourceId::TRICORE,
+            event: PerfEvent::FlowChange {
+                kind: FlowKind::Call,
+                from: Addr(0x8000_0000),
+                to: Addr(to),
+            },
+        }
+    }
+
+    #[test]
+    fn flow_target_comparator() {
+        let c = Comparator::FlowTarget {
+            lo: Addr(0x1000),
+            hi: Addr(0x1FFF),
+            source: None,
+        };
+        assert!(c.matches(&[flow_event(0x1800)], &[]));
+        assert!(!c.matches(&[flow_event(0x2800)], &[]));
+        let c2 = Comparator::FlowTarget {
+            lo: Addr(0x1000),
+            hi: Addr(0x1FFF),
+            source: Some(SourceId::PCP),
+        };
+        assert!(!c2.matches(&[flow_event(0x1800)], &[]), "source filter");
+    }
+
+    #[test]
+    fn data_addr_comparator_sees_events_and_bus() {
+        let c = Comparator::DataAddr {
+            lo: Addr(0xD000_0000),
+            hi: Addr(0xD000_00FF),
+            kind: Some(AccessKind::Write),
+            source: None,
+        };
+        let ev = EventRecord {
+            cycle: Cycle(0),
+            source: SourceId::TRICORE,
+            event: PerfEvent::DataValue {
+                addr: Addr(0xD000_0010),
+                value: 1,
+                kind: AccessKind::Write,
+                size: 4,
+            },
+        };
+        assert!(c.matches(&[ev], &[]));
+        let read = EventRecord {
+            cycle: Cycle(0),
+            source: SourceId::TRICORE,
+            event: PerfEvent::DataValue {
+                addr: Addr(0xD000_0010),
+                value: 1,
+                kind: AccessKind::Read,
+                size: 4,
+            },
+        };
+        assert!(!c.matches(&[read], &[]), "kind filter");
+        let bus = BusTransaction {
+            cycle: Cycle(0),
+            master: SourceId::DMA,
+            addr: Addr(0xD000_0020),
+            kind: AccessKind::Write,
+            size: 4,
+        };
+        assert!(c.matches(&[], &[bus]), "bus observation also matches");
+    }
+
+    #[test]
+    fn cond_algebra() {
+        let facts = TriggerFacts {
+            comp_matches: &[true, false],
+            counter_values: &[5],
+            last_rates: &[Some((200, 1000))],
+        };
+        assert!(Cond::Comp(0).eval(&facts));
+        assert!(!Cond::Comp(1).eval(&facts));
+        assert!(!Cond::Comp(9).eval(&facts), "out of range is false");
+        assert!(Cond::and(Cond::Comp(0), Cond::not(Cond::Comp(1))).eval(&facts));
+        assert!(Cond::or(Cond::Comp(1), Cond::True).eval(&facts));
+        assert!(Cond::CounterAtLeast {
+            counter: 0,
+            value: 5
+        }
+        .eval(&facts));
+        assert!(!Cond::CounterAtLeast {
+            counter: 0,
+            value: 6
+        }
+        .eval(&facts));
+        // rate 200/1000 = 0.2 < 0.25
+        assert!(Cond::RateBelow {
+            probe: 0,
+            num: 1,
+            den: 4
+        }
+        .eval(&facts));
+        assert!(!Cond::RateBelow {
+            probe: 0,
+            num: 1,
+            den: 5
+        }
+        .eval(&facts));
+        // No completed window yet: never below.
+        let facts2 = TriggerFacts {
+            comp_matches: &[],
+            counter_values: &[],
+            last_rates: &[None],
+        };
+        assert!(!Cond::RateBelow {
+            probe: 0,
+            num: 1,
+            den: 2
+        }
+        .eval(&facts2));
+    }
+
+    #[test]
+    fn state_machine_sequences() {
+        // 0 --comp0--> 1 (trace on), 1 --comp1--> 0 (trace off)
+        let mut sm = StateMachine::new(vec![
+            Transition {
+                from: 0,
+                cond: Cond::Comp(0),
+                to: 1,
+                actions: vec![Action::TraceOn(TraceUnit::ProgramTricore)],
+            },
+            Transition {
+                from: 1,
+                cond: Cond::Comp(1),
+                to: 0,
+                actions: vec![Action::TraceOff(TraceUnit::ProgramTricore)],
+            },
+        ]);
+        let f = |a: bool, b: bool| TriggerFacts {
+            comp_matches: if a {
+                &[true, false][..]
+            } else if b {
+                &[false, true][..]
+            } else {
+                &[false, false][..]
+            },
+            counter_values: &[],
+            last_rates: &[],
+        };
+        let facts = f(false, false);
+        assert!(sm.step(&facts).is_empty());
+        assert_eq!(sm.state(), 0);
+        let facts = f(true, false);
+        assert_eq!(
+            sm.step(&facts),
+            &[Action::TraceOn(TraceUnit::ProgramTricore)]
+        );
+        assert_eq!(sm.state(), 1);
+        // comp0 again in state 1: no transition from 1 with comp0.
+        let facts = f(true, false);
+        assert!(sm.step(&facts).is_empty());
+        let facts = f(false, true);
+        assert_eq!(
+            sm.step(&facts),
+            &[Action::TraceOff(TraceUnit::ProgramTricore)]
+        );
+        assert_eq!(sm.state(), 0);
+    }
+}

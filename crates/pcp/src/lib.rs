@@ -1,0 +1,46 @@
+//! Simulator of **PCP-R**, a PCP-class channel-programmed peripheral control
+//! co-processor.
+//!
+//! On AUDO-class automotive SoCs, the Peripheral Control Processor offloads
+//! interrupt-driven I/O chores (CAN message handling, ADC post-processing)
+//! from the TriCore CPU. The paper's introduction names "software
+//! partitioning between TriCore and PCP" as a key degree of freedom that
+//! makes customer applications diverse; experiment E8 of this reproduction
+//! quantifies exactly that partitioning trade-off.
+//!
+//! See [`isa`] for the instruction set and program builder, and [`core`]
+//! for the 8-channel execution engine.
+//!
+//! # Example
+//!
+//! ```
+//! use audo_common::{Cycle, EventSink};
+//! use audo_pcp::core::{Pcp, PcpConfig, TestPcpBus};
+//! use audo_pcp::isa::{PcpInstr, PReg, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.push(PcpInstr::Ldi { r1: PReg(0), imm: 21 });
+//! b.push(PcpInstr::Add { r1: PReg(0), r2: PReg(0) });
+//! b.push(PcpInstr::Exit);
+//!
+//! let mut pcp = Pcp::new(PcpConfig::default());
+//! pcp.load_program(0, &b.finish(0));
+//! pcp.setup_channel(0, 0);
+//! pcp.trigger(0);
+//!
+//! let mut bus = TestPcpBus::default();
+//! let mut sink = EventSink::new();
+//! let mut cycle = 0;
+//! while pcp.is_busy() {
+//!     pcp.step(Cycle(cycle), &mut bus, &mut sink)?;
+//!     cycle += 1;
+//! }
+//! assert_eq!(pcp.reg(0, PReg(0)), 42);
+//! # Ok::<(), audo_common::SimError>(())
+//! ```
+
+pub mod core;
+pub mod isa;
+
+pub use crate::core::{Pcp, PcpBus, PcpConfig, PcpStep};
+pub use isa::{PReg, PcpInstr, ProgramBuilder};

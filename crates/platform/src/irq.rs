@@ -1,0 +1,306 @@
+//! The interrupt router: service request nodes (SRNs) with priority and
+//! destination routing.
+//!
+//! As on AUDO-class devices, every peripheral event raises a *service
+//! request node*, and each SRN is programmed with a priority and a service
+//! provider: the TriCore CPU, a PCP channel, or a DMA channel. That routing
+//! flexibility is exactly what enables the HW/SW-partitioning experiments:
+//! the same ADC event can interrupt the CPU, start a PCP program, or kick a
+//! DMA transfer, without the peripheral knowing the difference.
+
+use audo_common::{Cycle, EventSink, PerfEvent, SourceId};
+
+/// Number of service request nodes.
+pub const N_SRN: usize = 32;
+
+/// Well-known SRN assignments.
+pub mod srn {
+    /// System timer compare 0.
+    pub const STM0: u8 = 0;
+    /// System timer compare 1.
+    pub const STM1: u8 = 1;
+    /// ADC conversion complete.
+    pub const ADC: u8 = 2;
+    /// CAN message received.
+    pub const CAN: u8 = 3;
+    /// Crank-wheel tooth event.
+    pub const CRANK: u8 = 4;
+    /// Crank-wheel full-revolution (TDC) event.
+    pub const TDC: u8 = 5;
+    /// DMA channel `n` done (8 channels).
+    pub const DMA_DONE0: u8 = 8;
+    /// First software SRN (raised by `SRQ` on the PCP or by MMIO).
+    pub const SOFT0: u8 = 16;
+}
+
+/// Who services a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Service {
+    /// Interrupt the TriCore CPU at the SRN's priority.
+    Cpu,
+    /// Trigger a PCP channel.
+    Pcp { channel: u8 },
+    /// Trigger a DMA channel.
+    Dma { channel: u8 },
+}
+
+/// One service request node's configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrnConfig {
+    /// Arbitration priority (1..=255; higher wins; 0 never dispatches).
+    pub prio: u8,
+    /// Enable flag.
+    pub enabled: bool,
+    /// Routing destination.
+    pub service: Service,
+}
+
+impl Default for SrnConfig {
+    fn default() -> SrnConfig {
+        SrnConfig {
+            prio: 0,
+            enabled: false,
+            service: Service::Cpu,
+        }
+    }
+}
+
+/// Dispatch produced by one router resolution step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dispatch {
+    /// PCP channels to trigger.
+    pub pcp_triggers: Vec<u8>,
+    /// DMA channels to trigger.
+    pub dma_triggers: Vec<u8>,
+}
+
+/// The interrupt router.
+#[derive(Debug, Clone)]
+pub struct IrqRouter {
+    cfg: [SrnConfig; N_SRN],
+    raised: [bool; N_SRN],
+    raised_count: u64,
+}
+
+impl Default for IrqRouter {
+    fn default() -> IrqRouter {
+        IrqRouter::new()
+    }
+}
+
+impl IrqRouter {
+    /// Creates a router with all SRNs disabled.
+    #[must_use]
+    pub fn new() -> IrqRouter {
+        IrqRouter {
+            cfg: [SrnConfig::default(); N_SRN],
+            raised: [false; N_SRN],
+            raised_count: 0,
+        }
+    }
+
+    /// Programs one SRN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `srn` is out of range.
+    pub fn configure(&mut self, srn: u8, cfg: SrnConfig) {
+        self.cfg[srn as usize] = cfg;
+    }
+
+    /// Returns one SRN's configuration.
+    #[must_use]
+    pub fn config(&self, srn: u8) -> SrnConfig {
+        self.cfg[srn as usize]
+    }
+
+    /// Raises a service request (idempotent while pending).
+    pub fn raise(&mut self, srn: u8, now: Cycle, sink: &mut EventSink) {
+        let c = self.cfg[srn as usize];
+        if !c.enabled {
+            return;
+        }
+        if !self.raised[srn as usize] {
+            self.raised[srn as usize] = true;
+            self.raised_count += 1;
+            sink.emit(
+                now,
+                SourceId::IRQ,
+                PerfEvent::IrqRaised { srn, prio: c.prio },
+            );
+        }
+    }
+
+    /// Resolves non-CPU routings: pending SRNs destined for PCP/DMA are
+    /// consumed and returned as triggers. Call once per cycle.
+    pub fn dispatch(&mut self) -> Dispatch {
+        let mut out = Dispatch::default();
+        for i in 0..N_SRN {
+            if !self.raised[i] {
+                continue;
+            }
+            match self.cfg[i].service {
+                Service::Cpu => {}
+                Service::Pcp { channel } => {
+                    self.raised[i] = false;
+                    out.pcp_triggers.push(channel);
+                }
+                Service::Dma { channel } => {
+                    self.raised[i] = false;
+                    out.dma_triggers.push(channel);
+                }
+            }
+        }
+        out
+    }
+
+    /// The highest-priority pending CPU interrupt, if any.
+    #[must_use]
+    pub fn cpu_pending(&self) -> Option<u8> {
+        self.iter_cpu_pending().map(|(_, prio)| prio).max()
+    }
+
+    /// Acknowledges (clears) the pending CPU request of priority `prio`.
+    /// If several share the priority, the lowest-numbered SRN wins.
+    pub fn acknowledge_cpu(&mut self, prio: u8) {
+        if let Some((idx, _)) = self
+            .iter_cpu_pending()
+            .filter(|&(_, p)| p == prio)
+            .min_by_key(|&(i, _)| i)
+        {
+            self.raised[idx] = false;
+        }
+    }
+
+    fn iter_cpu_pending(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
+        self.raised.iter().enumerate().filter_map(|(i, &r)| {
+            let c = self.cfg[i];
+            (r && c.prio > 0 && matches!(c.service, Service::Cpu)).then_some((i, c.prio))
+        })
+    }
+
+    /// Lifetime count of raised (enabled) requests.
+    #[must_use]
+    pub fn raised_total(&self) -> u64 {
+        self.raised_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink() -> EventSink {
+        EventSink::new()
+    }
+
+    #[test]
+    fn disabled_srn_ignores_raise() {
+        let mut r = IrqRouter::new();
+        let mut s = sink();
+        r.raise(3, Cycle(0), &mut s);
+        assert_eq!(r.cpu_pending(), None);
+        assert_eq!(r.raised_total(), 0);
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut r = IrqRouter::new();
+        let mut s = sink();
+        r.configure(
+            0,
+            SrnConfig {
+                prio: 5,
+                enabled: true,
+                service: Service::Cpu,
+            },
+        );
+        r.configure(
+            1,
+            SrnConfig {
+                prio: 9,
+                enabled: true,
+                service: Service::Cpu,
+            },
+        );
+        r.raise(0, Cycle(0), &mut s);
+        r.raise(1, Cycle(0), &mut s);
+        assert_eq!(r.cpu_pending(), Some(9));
+        r.acknowledge_cpu(9);
+        assert_eq!(r.cpu_pending(), Some(5));
+        r.acknowledge_cpu(5);
+        assert_eq!(r.cpu_pending(), None);
+    }
+
+    #[test]
+    fn raise_is_idempotent_while_pending() {
+        let mut r = IrqRouter::new();
+        let mut s = sink();
+        r.configure(
+            0,
+            SrnConfig {
+                prio: 1,
+                enabled: true,
+                service: Service::Cpu,
+            },
+        );
+        r.raise(0, Cycle(0), &mut s);
+        r.raise(0, Cycle(1), &mut s);
+        assert_eq!(r.raised_total(), 1);
+        r.acknowledge_cpu(1);
+        r.raise(0, Cycle(2), &mut s);
+        assert_eq!(r.raised_total(), 2);
+    }
+
+    #[test]
+    fn pcp_and_dma_routing_dispatches() {
+        let mut r = IrqRouter::new();
+        let mut s = sink();
+        r.configure(
+            2,
+            SrnConfig {
+                prio: 3,
+                enabled: true,
+                service: Service::Pcp { channel: 4 },
+            },
+        );
+        r.configure(
+            3,
+            SrnConfig {
+                prio: 3,
+                enabled: true,
+                service: Service::Dma { channel: 1 },
+            },
+        );
+        r.raise(2, Cycle(0), &mut s);
+        r.raise(3, Cycle(0), &mut s);
+        let d = r.dispatch();
+        assert_eq!(d.pcp_triggers, vec![4]);
+        assert_eq!(d.dma_triggers, vec![1]);
+        assert_eq!(
+            r.cpu_pending(),
+            None,
+            "non-CPU requests never reach the CPU"
+        );
+        assert_eq!(r.dispatch(), Dispatch::default(), "consumed");
+    }
+
+    #[test]
+    fn events_report_raises() {
+        let mut r = IrqRouter::new();
+        let mut s = sink();
+        r.configure(
+            7,
+            SrnConfig {
+                prio: 2,
+                enabled: true,
+                service: Service::Cpu,
+            },
+        );
+        r.raise(7, Cycle(42), &mut s);
+        assert!(matches!(
+            s.records()[0].event,
+            PerfEvent::IrqRaised { srn: 7, prio: 2 }
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! AUDO-class SoC fabric and full-chip simulator.
+//!
+//! This crate assembles the product-chip side of the Emulation Device block
+//! diagram in Mayer & Hellwig (DATE 2008, Fig. 4): the TriCore-class CPU
+//! (`audo-tricore`), the PCP co-processor (`audo-pcp`), the multi-master
+//! crossbar, the embedded program flash with read/prefetch buffers and
+//! code/data port arbitration, data flash, SRAM and scratchpads, the DMA
+//! controller, the interrupt router with routable service request nodes,
+//! automotive peripherals (system timer, ADC, CAN receiver, crank-wheel
+//! sensor) and the calibration overlay into one cycle-stepped [`soc::Soc`].
+//!
+//! Every block emits [`audo_common::PerfEvent`]s as it runs; the `audo-ed`
+//! crate attaches the MCDS to that stream.
+//!
+//! # Example
+//!
+//! ```
+//! use audo_platform::config::SocConfig;
+//! use audo_platform::soc::Soc;
+//! use audo_tricore::asm::assemble;
+//!
+//! let image = assemble("
+//!     .org 0x80000000
+//! _start:
+//!     movi d0, 6
+//!     movi d1, 7
+//!     mul  d2, d0, d1
+//!     halt
+//! ")?;
+//! let mut soc = Soc::new(SocConfig::default());
+//! soc.load_image(&image)?;
+//! soc.run_to_halt(100_000)?;
+//! assert_eq!(soc.tricore.arch().d[2], 42);
+//! # Ok::<(), audo_common::SimError>(())
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod dma;
+pub mod fabric;
+pub mod flash;
+pub mod irq;
+pub mod periph;
+pub mod soc;
+pub mod xbar;
+
+pub use config::SocConfig;
+pub use fabric::Fabric;
+pub use soc::{CycleObservation, Soc};

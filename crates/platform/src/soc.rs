@@ -1,0 +1,508 @@
+//! Full-SoC composition: TriCore + PCP + fabric, stepped cycle by cycle.
+//!
+//! [`Soc::step`] advances the whole product chip one CPU clock and returns
+//! everything an Emulation Extension Chip could observe that cycle: the
+//! performance events and the bus transactions. The ED crate feeds these
+//! into the MCDS; a production part simply drops them.
+
+use audo_common::{Addr, BusTransaction, Cycle, EventRecord, EventSink, SimError, SourceId};
+use audo_pcp::Pcp;
+use audo_tricore::arch::{init_csa_list, ArchMem};
+use audo_tricore::pipeline::Core;
+use audo_tricore::Image;
+
+use crate::config::SocConfig;
+use crate::fabric::{Fabric, PcpPort};
+
+/// Default CSA list placement: top 4 KiB of the DSPR.
+const CSA_AREAS: u32 = 48;
+
+/// Observation of one SoC cycle.
+#[derive(Debug, Clone, Default)]
+pub struct CycleObservation {
+    /// The cycle that was executed.
+    pub cycle: Cycle,
+    /// Performance events from all blocks.
+    pub events: Vec<EventRecord>,
+    /// Bus transactions granted this cycle.
+    pub bus: Vec<BusTransaction>,
+    /// Instructions the TriCore retired this cycle.
+    pub tricore_retired: u8,
+    /// The TriCore has executed `HALT`.
+    pub halted: bool,
+}
+
+/// The simulated product chip.
+#[derive(Debug)]
+pub struct Soc {
+    /// The TriCore-class main CPU.
+    pub tricore: Core,
+    /// The PCP co-processor.
+    pub pcp: Pcp,
+    /// Interconnect, memories and peripherals.
+    pub fabric: Fabric,
+    core_sink: EventSink,
+    clock: Cycle,
+}
+
+impl Soc {
+    /// Builds a SoC from a configuration (reset PC = flash base; load an
+    /// image to set the real entry).
+    #[must_use]
+    pub fn new(cfg: SocConfig) -> Soc {
+        let cpu_cfg = cfg.cpu.clone();
+        let pcp_cfg = cfg.pcp.clone();
+        let fabric = Fabric::new(cfg);
+        Soc {
+            tricore: Core::new(cpu_cfg, crate::config::PFLASH_BASE, SourceId::TRICORE),
+            pcp: Pcp::new(pcp_cfg),
+            fabric,
+            core_sink: EventSink::new(),
+            clock: Cycle::ZERO,
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.clock
+    }
+
+    /// Enables or disables event observation (a production SoC without the
+    /// Emulation Extension Chip runs with observation off).
+    pub fn set_observation(&mut self, enabled: bool) {
+        self.core_sink.set_enabled(enabled);
+        self.fabric.sink.set_enabled(enabled);
+    }
+
+    /// Loads a program image, initialises the CSA free list at the top of
+    /// the DSPR, points the stack below it, and redirects the CPU to the
+    /// image entry.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the image does not fit the mapped memories.
+    pub fn load_image(&mut self, image: &Image) -> Result<(), SimError> {
+        struct Backdoor<'a>(&'a mut Fabric);
+        impl ArchMem for Backdoor<'_> {
+            fn read(&mut self, addr: Addr, size: u8) -> Result<u32, SimError> {
+                self.0.peek(addr, size)
+            }
+            fn write(&mut self, addr: Addr, size: u8, value: u32) -> Result<(), SimError> {
+                self.0.poke(addr, size, value)
+            }
+        }
+        let dspr_top = crate::config::DSPR_BASE.0 + self.fabric.cfg.dspr_size.bytes() as u32;
+        let csa_base = Addr(dspr_top - CSA_AREAS * 64);
+        let mut bd = Backdoor(&mut self.fabric);
+        image.load_into(&mut bd)?;
+        let fcx = init_csa_list(&mut bd, csa_base, CSA_AREAS)?;
+        let arch = self.tricore.arch_mut();
+        arch.fcx = fcx;
+        arch.a[10] = csa_base.0; // stack grows down from below the CSA list
+        self.tricore.redirect(image.entry());
+        Ok(())
+    }
+
+    /// Advances the SoC by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal faults from any master.
+    pub fn step(&mut self) -> Result<CycleObservation, SimError> {
+        let now = self.clock;
+        // Peripherals, DMA, interrupt dispatch.
+        let pcp_triggers = self.fabric.step(now)?;
+        for ch in pcp_triggers {
+            self.pcp.trigger(ch);
+        }
+        // PCP.
+        let pcp_out = {
+            let mut port = PcpPort(&mut self.fabric);
+            self.pcp.step(now, &mut port, &mut self.core_sink)?
+        };
+        if let Some(srn) = pcp_out.raised_srn {
+            let fabric = &mut self.fabric;
+            let sink = &mut fabric.sink;
+            fabric.irq.raise(srn, now, sink);
+        }
+        // TriCore.
+        let irq = self.fabric.irq.cpu_pending();
+        let out = self
+            .tricore
+            .step(now, &mut self.fabric, irq, &mut self.core_sink)?;
+        if let Some(prio) = out.irq_taken {
+            self.fabric.irq.acknowledge_cpu(prio);
+        }
+        self.clock += 1;
+
+        let mut events = self.fabric.sink.drain();
+        events.append(&mut self.core_sink.drain());
+        Ok(CycleObservation {
+            cycle: now,
+            events,
+            bus: std::mem::take(&mut self.fabric.bus_obs),
+            tricore_retired: out.retired,
+            halted: out.halted,
+        })
+    }
+
+    /// Runs until `HALT` or `max_cycles`, feeding every observation to
+    /// `on_cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LimitExceeded`] at the cycle limit, or any fault.
+    pub fn run<F: FnMut(&CycleObservation)>(
+        &mut self,
+        max_cycles: u64,
+        mut on_cycle: F,
+    ) -> Result<u64, SimError> {
+        let start = self.clock;
+        loop {
+            if self.clock.saturating_sub(start) >= max_cycles {
+                return Err(SimError::LimitExceeded {
+                    what: "cycles",
+                    limit: max_cycles,
+                });
+            }
+            let obs = self.step()?;
+            let halted = obs.halted;
+            on_cycle(&obs);
+            if halted {
+                return Ok(self.clock - start);
+            }
+        }
+    }
+
+    /// Runs to `HALT` discarding observations (fast path for tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`Soc::run`].
+    pub fn run_to_halt(&mut self, max_cycles: u64) -> Result<u64, SimError> {
+        self.run(max_cycles, |_| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audo_common::PerfEvent;
+    use audo_tricore::asm::assemble;
+
+    fn soc_with(src: &str) -> Soc {
+        let image = assemble(src).expect("assembles");
+        let mut soc = Soc::new(SocConfig::default());
+        soc.load_image(&image).expect("loads");
+        soc
+    }
+
+    #[test]
+    fn flash_resident_program_runs_to_halt() {
+        let mut soc = soc_with(
+            "
+            .org 0x80000000
+        _start:
+            movi d0, 0
+            movi d1, 100
+        head:
+            addi d0, d0, 1
+            jne d0, d1, head
+            halt
+        ",
+        );
+        let cycles = soc.run_to_halt(100_000).unwrap();
+        assert_eq!(soc.tricore.arch().d[0], 100);
+        // ~300 retired instructions; flash + loop overhead keeps IPC sane.
+        let ipc = soc.tricore.retired_total() as f64 / cycles as f64;
+        assert!(
+            ipc > 0.2 && ipc < 3.0,
+            "IPC {ipc:.2} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn scratchpad_code_is_faster_than_flash_code() {
+        let body = "
+        _start:
+            movi d0, 0
+            movi d1, 200
+        head:
+            addi d0, d0, 1
+            jne d0, d1, head
+            halt
+        ";
+        let mut flash = soc_with(&format!(".org 0x80000000\n{body}"));
+        let mut pspr = soc_with(&format!(".org 0xC0000000\n{body}"));
+        let t_flash = flash.run_to_halt(1_000_000).unwrap();
+        let t_pspr = pspr.run_to_halt(1_000_000).unwrap();
+        assert!(
+            t_pspr <= t_flash,
+            "scratchpad ({t_pspr}) must not be slower than flash ({t_flash})"
+        );
+    }
+
+    #[test]
+    fn observation_includes_cache_and_retire_events() {
+        let mut soc = soc_with(
+            "
+            .org 0x80000000
+        _start:
+            movi d0, 50
+        head:
+            addi d0, d0, -1
+            jnz d0, head
+            halt
+        ",
+        );
+        let mut retired = 0u64;
+        let mut icache_events = 0u64;
+        soc.run(100_000, |obs| {
+            for e in &obs.events {
+                match e.event {
+                    PerfEvent::InstrRetired { count } => retired += u64::from(count),
+                    PerfEvent::CacheHit { .. } | PerfEvent::CacheMiss { .. } => icache_events += 1,
+                    _ => {}
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(retired, soc.tricore.retired_total());
+        assert!(
+            icache_events > 0,
+            "flash-resident code must exercise the I-cache"
+        );
+    }
+
+    #[test]
+    fn stm_interrupt_drives_handler() {
+        let mut soc = soc_with(
+            "
+            .org 0x80000000
+        _start:
+            li d0, 0x80001000       ; BIV
+            mtcr biv, d0
+            ; STM compare0 at 500, reload 500
+            la a2, 0xF0000000
+            li d1, 500
+            st.w d1, [a2+0x08]
+            st.w d1, [a2+0x10]
+            movi d2, 1
+            st.w d2, [a2+0x18]      ; enable cmp0
+            ; SRC 0: prio 4, enable, CPU
+            la a3, 0xF0006000
+            li d3, 0x104
+            st.w d3, [a3]
+            enable
+            movi d5, 0
+        spin:
+            addi d5, d5, 1
+            li d6, 100000
+            jne d5, d6, spin
+            halt
+
+            ; priority-4 vector at BIV + 128
+            .org 0x80001000 + 128
+            addi d7, d7, 1          ; count interrupts
+            rfe
+        ",
+        );
+        soc.run_to_halt(2_000_000).unwrap();
+        let handler_runs = soc.tricore.arch().d[7];
+        assert!(
+            handler_runs >= 3,
+            "expected several STM ticks, got {handler_runs}"
+        );
+    }
+
+    #[test]
+    fn pcp_offload_roundtrip_via_srn() {
+        // TriCore software-raises SRN 20 (routed to PCP ch 2); the PCP
+        // program increments a word in SRAM and raises SRN 21 back to the
+        // CPU (prio 6).
+        use audo_pcp::isa::{PReg, PcpInstr, ProgramBuilder};
+        let mut soc = soc_with(
+            "
+            .org 0x80000000
+        _start:
+            li d0, 0x80001000
+            mtcr biv, d0
+            ; SRC 20: enabled, dest PCP ch 2
+            la a2, 0xF0006000 + 20*4
+            li d1, 0x1301           ; prio 1, enable, svc=pcp, channel 2
+            st.w d1, [a2]
+            ; SRC 21: prio 6, enabled, CPU
+            la a3, 0xF0006000 + 21*4
+            li d2, 0x106
+            st.w d2, [a3]
+            enable
+            ; trigger the PCP via SETR
+            li d3, 0x80001301
+            st.w d3, [a2]
+        wait_loop:
+            jz d7, wait_loop        ; d7 set by the ISR
+            halt
+
+            .org 0x80001000 + 6*32  ; prio 6 vector
+            movi d7, 1
+            rfe
+        ",
+        );
+        let mut b = ProgramBuilder::new();
+        b.push(PcpInstr::Ldi {
+            r1: PReg(1),
+            imm: 0,
+        });
+        b.push(PcpInstr::Ldih {
+            r1: PReg(1),
+            imm: 0x9000,
+        });
+        b.push(PcpInstr::Ld {
+            r1: PReg(0),
+            r2: PReg(1),
+            off: 0,
+        });
+        b.push(PcpInstr::Addi {
+            r1: PReg(0),
+            imm: 1,
+        });
+        b.push(PcpInstr::St {
+            r1: PReg(0),
+            r2: PReg(1),
+            off: 0,
+        });
+        b.push(PcpInstr::Srq { srn: 21 });
+        b.push(PcpInstr::Exit);
+        soc.pcp.load_program(0, &b.finish(0));
+        soc.pcp.setup_channel(2, 0);
+        soc.run_to_halt(1_000_000).unwrap();
+        assert_eq!(
+            soc.fabric.peek(Addr(0x9000_0000), 4).unwrap(),
+            1,
+            "PCP incremented SRAM"
+        );
+        assert_eq!(
+            soc.tricore.arch().d[7],
+            1,
+            "CPU got the completion interrupt"
+        );
+    }
+
+    #[test]
+    fn production_mode_observation_off_still_runs() {
+        let mut soc = soc_with(".org 0x80000000\n_start: movi d0, 7\n halt\n");
+        soc.set_observation(false);
+        let mut total_events = 0;
+        soc.run(100_000, |obs| total_events += obs.events.len())
+            .unwrap();
+        assert_eq!(total_events, 0);
+        assert_eq!(soc.tricore.arch().d[0], 7);
+    }
+}
+
+#[cfg(test)]
+mod preemption_tests {
+    use super::*;
+    use audo_platform_test_helpers::*;
+
+    mod audo_platform_test_helpers {
+        pub use audo_tricore::asm::assemble;
+    }
+
+    /// A higher-priority interrupt must preempt a running lower-priority
+    /// handler once that handler re-enables interrupts (TriCore-style
+    /// nesting), and both must resume correctly through their CSA frames.
+    ///
+    /// Handlers communicate through DSPR memory: `D8..D14` are upper-context
+    /// registers, so anything a handler leaves there is (correctly)
+    /// restored away by `RFE`.
+    #[test]
+    fn nested_interrupt_preemption() {
+        let src = "
+            .equ NEST, 0xD0000300    ; [+0] fast count, [+4] preempt snapshot,
+                                     ; [+8] slow-active flag, [+12] slow done
+            .org 0x80000000
+        _start:
+            li d0, 0x80001000
+            mtcr biv, d0
+            ; STM cmp0 at 20000 (prio 3, slow task), cmp1 at 20300 (prio 7),
+            ; both far beyond the flash-resident setup prologue
+            la a2, 0xF0000000
+            li d1, 20000
+            st.w d1, [a2+0x08]
+            li d1, 0
+            st.w d1, [a2+0x10]       ; reload 0: effectively one-shot
+            li d1, 20300
+            st.w d1, [a2+0x0C]
+            li d1, 0
+            st.w d1, [a2+0x14]
+            movi d2, 3
+            st.w d2, [a2+0x18]       ; enable both compares
+            la a3, 0xF0006000
+            li d3, 0x103             ; SRN0 -> CPU prio 3
+            st.w d3, [a3]
+            li d3, 0x107             ; SRN1 -> CPU prio 7
+            st.w d3, [a3+4]
+            enable
+        spin:
+            addi d5, d5, 1
+            li d6, 30000
+            jne d5, d6, spin
+            halt
+
+            ; prio 3 vector
+            .org 0x80001000 + 3*32
+            j slow_handler
+            ; prio 7 vector: fast handler
+            .org 0x80001000 + 7*32
+            j fast_handler
+
+            .org 0x80001800
+        slow_handler:
+            la a12, NEST
+            movi d8, 1
+            st.w d8, [a12+8]         ; mark slow handler active
+            enable                   ; allow nesting (like TriCore BISR)
+            li d11, 1000             ; burn time so prio 7 arrives mid-handler
+        slow_burn:
+            addi d11, d11, -1
+            jnz d11, slow_burn
+            movi d8, 0
+            st.w d8, [a12+8]
+            ld.w d9, [a12+12]
+            addi d9, d9, 1
+            st.w d9, [a12+12]        ; count slow completions
+            rfe
+
+        fast_handler:
+            la a12, NEST
+            ld.w d9, [a12+0]
+            addi d9, d9, 1
+            st.w d9, [a12+0]         ; count fast activations
+            ld.w d10, [a12+8]
+            st.w d10, [a12+4]        ; snapshot: was the slow handler active?
+            rfe
+        ";
+        let image = assemble(src).unwrap();
+        let mut soc = Soc::new(SocConfig::default());
+        soc.load_image(&image).unwrap();
+        soc.run_to_halt(1_000_000).unwrap();
+        let nest = 0xD000_0300u32;
+        let word = |soc: &mut Soc, off: u32| soc.fabric.peek(Addr(nest + off), 4).unwrap();
+        assert_eq!(
+            word(&mut soc, 12),
+            1,
+            "slow handler completed despite preemption"
+        );
+        assert_eq!(word(&mut soc, 0), 1, "fast handler ran once");
+        assert_eq!(
+            word(&mut soc, 4),
+            1,
+            "fast handler preempted the slow one mid-flight"
+        );
+        let a = soc.tricore.arch();
+        assert_eq!(a.icr_ccpn, 0, "priority fully unwound");
+        assert!(a.d[5] >= 30000, "main loop resumed and finished");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the platform's timing models: the cache against a
+//! reference LRU implementation, and flash-timing invariants.
+
+use audo_common::{Addr, ByteSize, Cycle, EventSink};
+use audo_platform::cache::Cache;
+use audo_platform::config::{CacheConfig, FlashConfig, PortArbitration};
+use audo_platform::flash::FlashTiming;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Straightforward reference model: per-set LRU queues of tags.
+struct OracleCache {
+    sets: Vec<VecDeque<u32>>,
+    ways: usize,
+    line_shift: u32,
+    set_bits: u32,
+}
+
+impl OracleCache {
+    fn new(size: u64, ways: usize, line: u32) -> OracleCache {
+        let n_sets = (size / u64::from(line)) as usize / ways;
+        OracleCache {
+            sets: (0..n_sets).map(|_| VecDeque::new()).collect(),
+            ways,
+            line_shift: line.trailing_zeros(),
+            set_bits: (n_sets as u32).trailing_zeros(),
+        }
+    }
+
+    fn index(&self, addr: u32) -> (usize, u32) {
+        let line = addr >> self.line_shift;
+        (
+            (line as usize) & (self.sets.len() - 1),
+            line >> self.set_bits,
+        )
+    }
+
+    fn lookup(&mut self, addr: u32) -> bool {
+        let (set, tag) = self.index(addr);
+        if let Some(pos) = self.sets[set].iter().position(|&t| t == tag) {
+            let t = self.sets[set].remove(pos).expect("present");
+            self.sets[set].push_back(t); // most recently used at the back
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u32) {
+        let (set, tag) = self.index(addr);
+        if self.sets[set].len() >= self.ways {
+            self.sets[set].pop_front();
+        }
+        self.sets[set].push_back(tag);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    /// The timing cache and the oracle agree on every hit/miss decision for
+    /// arbitrary access sequences (miss → fill, like the fabric does).
+    #[test]
+    fn cache_matches_lru_oracle(
+        addrs in proptest::collection::vec(0u32..0x2000, 1..300),
+        ways in 1usize..5,
+    ) {
+        // 1 KiB, variable associativity, 32-byte lines. Skip geometries
+        // where sets would not be a power of two.
+        let n_sets = (1024 / 32) / ways;
+        prop_assume!(n_sets.is_power_of_two());
+        let mut dut = Cache::new(&CacheConfig {
+            size: ByteSize(1024),
+            ways,
+            line: 32,
+            enabled: true,
+        });
+        let mut oracle = OracleCache::new(1024, ways, 32);
+        for (i, &a) in addrs.iter().enumerate() {
+            let hit_dut = dut.lookup(Addr(a));
+            let hit_oracle = oracle.lookup(a);
+            prop_assert_eq!(hit_dut, hit_oracle, "access #{} to {:#x}", i, a);
+            if !hit_dut {
+                dut.fill(Addr(a));
+                oracle.fill(a);
+            }
+        }
+        let (hits, misses) = dut.stats();
+        prop_assert_eq!(hits + misses, addrs.len() as u64);
+    }
+
+    /// Flash timing invariants: responses never travel back in time, hits
+    /// are free, misses cost at least the wait states, and the hit/miss
+    /// counters account for every access.
+    #[test]
+    fn flash_timing_invariants(
+        addrs in proptest::collection::vec(0u32..0x800, 1..200),
+        gaps in proptest::collection::vec(0u64..12, 1..200),
+        buffers in 1usize..5,
+        prefetch in any::<bool>(),
+    ) {
+        let ws = 5u64;
+        let mut flash = FlashTiming::new(FlashConfig {
+            wait_states: ws,
+            line_bytes: 32,
+            read_buffers: buffers,
+            prefetch,
+            arbitration: PortArbitration::CodeFirst,
+        });
+        let mut sink = EventSink::disabled();
+        let mut now = Cycle(0);
+        for (i, &a) in addrs.iter().enumerate() {
+            now += gaps.get(i).copied().unwrap_or(1);
+            let (h0, m0, _) = flash.stats();
+            let ready = flash.access(now, Addr(a), audo_common::events::FlashPort::Code, &mut sink);
+            let (h1, m1, _) = flash.stats();
+            prop_assert!(ready >= now, "time went backwards");
+            prop_assert_eq!(h1 + m1, h0 + m0 + 1, "every access is a hit or a miss");
+            if m1 > m0 {
+                prop_assert!(ready.0 >= now.0 + ws, "miss must pay wait states");
+            }
+            if prefetch {
+                flash.step(now, &mut sink);
+            }
+        }
+        let (hits, misses, _) = flash.stats();
+        prop_assert_eq!(hits + misses, addrs.len() as u64);
+    }
+
+    /// Repeating the same line back-to-back always hits after the fill
+    /// completes, at any buffer count.
+    #[test]
+    fn flash_same_line_rehit(addr in 0u32..0x1000, buffers in 1usize..4) {
+        let mut flash = FlashTiming::new(FlashConfig {
+            wait_states: 5,
+            line_bytes: 32,
+            read_buffers: buffers,
+            prefetch: false,
+            arbitration: PortArbitration::CodeFirst,
+        });
+        let mut sink = EventSink::disabled();
+        let r1 = flash.access(Cycle(0), Addr(addr), audo_common::events::FlashPort::Code, &mut sink);
+        let r2 = flash.access(r1 + 1, Addr(addr), audo_common::events::FlashPort::Code, &mut sink);
+        prop_assert_eq!(r2, r1 + 1, "second access to the same line is free");
+    }
+}

@@ -1,0 +1,355 @@
+//! Architectural state of a TC-R core: register banks, core special-function
+//! registers, and the memory-resident context-save architecture (CSA).
+//!
+//! Like the real TriCore, `CALL`, `RET`, interrupt entry and `RFE` spill and
+//! refill an *upper context* of 16 words through a linked list of context
+//! save areas in data memory. This matters for the profiling methodology:
+//! call- and interrupt-heavy code produces real, observable memory traffic.
+
+use audo_common::{Addr, SimError};
+
+use crate::isa::Csfr;
+
+/// Bit position of `ICR.IE` in the packed ICR value.
+pub const ICR_IE_BIT: u32 = 8;
+
+/// Size of one context save area in bytes (16 words).
+pub const CSA_BYTES: u32 = 64;
+
+/// Byte-level functional memory access, as needed by instruction semantics.
+///
+/// The cycle-accurate pipeline implements this on top of its timed bus ports;
+/// the functional golden-model ISS implements it on flat memory. Both share
+/// the exact same [`execute`](crate::exec::execute) semantics.
+pub trait ArchMem {
+    /// Reads `size` bytes (1, 2 or 4) at `addr`, zero-extended into a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmapped or misaligned accesses.
+    fn read(&mut self, addr: Addr, size: u8) -> Result<u32, SimError>;
+
+    /// Writes the low `size` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmapped or misaligned accesses.
+    fn write(&mut self, addr: Addr, size: u8, value: u32) -> Result<(), SimError>;
+}
+
+/// The complete architectural register state of one TC-R core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// Data registers `D0..D15`.
+    pub d: [u32; 16],
+    /// Address registers `A0..A15` (`A10` = SP, `A11` = RA).
+    pub a: [u32; 16],
+    /// Program counter.
+    pub pc: u32,
+    /// Program status word (user flags; saved/restored with the context).
+    pub psw: u32,
+    /// Interrupt enable (`ICR.IE`).
+    pub icr_ie: bool,
+    /// Current CPU priority number (`ICR.CCPN`); interrupts with a strictly
+    /// higher priority preempt.
+    pub icr_ccpn: u8,
+    /// Interrupt vector table base.
+    pub biv: u32,
+    /// Trap vector table base.
+    pub btv: u32,
+    /// Free CSA list head (0 = exhausted).
+    pub fcx: u32,
+    /// Previous-context pointer (0 = none).
+    pub pcx: u32,
+    /// Core identification value.
+    pub core_id: u32,
+    /// System configuration register (uninterpreted scratch).
+    pub syscon: u32,
+}
+
+impl ArchState {
+    /// Creates reset state: all registers zero, PC at `reset_pc`,
+    /// interrupts disabled.
+    #[must_use]
+    pub fn new(reset_pc: u32) -> ArchState {
+        ArchState {
+            d: [0; 16],
+            a: [0; 16],
+            pc: reset_pc,
+            psw: 0,
+            icr_ie: false,
+            icr_ccpn: 0,
+            biv: 0,
+            btv: 0,
+            fcx: 0,
+            pcx: 0,
+            core_id: 0,
+            syscon: 0,
+        }
+    }
+
+    /// Reads a CSFR by number (as `MFCR` does). Unknown numbers read zero.
+    #[must_use]
+    pub fn read_csfr(&self, num: u16) -> u32 {
+        match Csfr::from_u16(num) {
+            Some(Csfr::Psw) => self.psw,
+            Some(Csfr::Icr) => u32::from(self.icr_ccpn) | (u32::from(self.icr_ie) << ICR_IE_BIT),
+            Some(Csfr::Biv) => self.biv,
+            Some(Csfr::Btv) => self.btv,
+            Some(Csfr::Fcx) => self.fcx,
+            Some(Csfr::Pcx) => self.pcx,
+            Some(Csfr::CoreId) => self.core_id,
+            Some(Csfr::Syscon) => self.syscon,
+            None => 0,
+        }
+    }
+
+    /// Writes a CSFR by number (as `MTCR` does). Unknown numbers are ignored.
+    pub fn write_csfr(&mut self, num: u16, value: u32) {
+        match Csfr::from_u16(num) {
+            Some(Csfr::Psw) => self.psw = value,
+            Some(Csfr::Icr) => {
+                self.icr_ccpn = (value & 0xFF) as u8;
+                self.icr_ie = value & (1 << ICR_IE_BIT) != 0;
+            }
+            Some(Csfr::Biv) => self.biv = value,
+            Some(Csfr::Btv) => self.btv = value,
+            Some(Csfr::Fcx) => self.fcx = value,
+            Some(Csfr::Pcx) => self.pcx = value,
+            Some(Csfr::CoreId) => self.core_id = value,
+            Some(Csfr::Syscon) => self.syscon = value,
+            None => {}
+        }
+    }
+
+    /// Packed ICR value (`CCPN` in bits 7..0, `IE` in bit 8).
+    #[must_use]
+    pub fn icr(&self) -> u32 {
+        self.read_csfr(Csfr::Icr as u16)
+    }
+}
+
+/// Builds a free CSA list of `count` areas starting at `base` and returns
+/// the list head for `FCX`.
+///
+/// Each area is [`CSA_BYTES`] long; word 0 of each free area links to the
+/// next, and the last links to 0.
+///
+/// # Errors
+///
+/// Propagates memory errors (e.g. `base` not mapped).
+///
+/// # Panics
+///
+/// Panics if `base` is not 8-byte aligned or `count` is zero.
+pub fn init_csa_list<M: ArchMem>(mem: &mut M, base: Addr, count: u32) -> Result<u32, SimError> {
+    assert!(count > 0, "CSA list needs at least one area");
+    assert!(base.is_aligned(8), "CSA base must be 8-byte aligned");
+    for i in 0..count {
+        let this = base.offset(i * CSA_BYTES);
+        let next = if i + 1 < count {
+            base.offset((i + 1) * CSA_BYTES).0
+        } else {
+            0
+        };
+        mem.write(this, 4, next)?;
+    }
+    Ok(base.0)
+}
+
+/// Spills the upper context to a fresh CSA (the `CALL`/interrupt-entry path).
+///
+/// Saved layout (word offsets): 0 = old `PCX` link, 1 = `PSW`, 2 = `ICR`,
+/// 3..=8 = `A10..A15`, 9..=15 = `D8..D14`.
+///
+/// # Errors
+///
+/// Returns [`SimError::ProgramFault`] when the free list is exhausted
+/// (`FCX == 0`), or a memory error from the spill itself.
+pub fn save_upper_context<M: ArchMem>(st: &mut ArchState, mem: &mut M) -> Result<(), SimError> {
+    let frame = st.fcx;
+    if frame == 0 {
+        return Err(SimError::ProgramFault {
+            message: "free CSA list exhausted (FCX=0)".into(),
+        });
+    }
+    let base = Addr(frame);
+    let next_free = mem.read(base, 4)?;
+    mem.write(base, 4, st.pcx)?;
+    mem.write(base.offset(4), 4, st.psw)?;
+    mem.write(base.offset(8), 4, st.icr())?;
+    for (i, reg) in (10..16).enumerate() {
+        mem.write(base.offset(12 + 4 * i as u32), 4, st.a[reg])?;
+    }
+    for (i, reg) in (8..15).enumerate() {
+        mem.write(base.offset(36 + 4 * i as u32), 4, st.d[reg])?;
+    }
+    st.fcx = next_free;
+    st.pcx = frame;
+    Ok(())
+}
+
+/// Restores the upper context from the newest CSA (the `RET`/`RFE` path).
+///
+/// When `restore_icr` is set (RFE), the saved interrupt state is restored
+/// too; `RET` leaves ICR untouched.
+///
+/// # Errors
+///
+/// Returns [`SimError::ProgramFault`] on context-list underflow (`PCX == 0`),
+/// or a memory error from the refill.
+pub fn restore_upper_context<M: ArchMem>(
+    st: &mut ArchState,
+    mem: &mut M,
+    restore_icr: bool,
+) -> Result<(), SimError> {
+    let frame = st.pcx;
+    if frame == 0 {
+        return Err(SimError::ProgramFault {
+            message: "context list underflow (PCX=0)".into(),
+        });
+    }
+    let base = Addr(frame);
+    let older = mem.read(base, 4)?;
+    st.psw = mem.read(base.offset(4), 4)?;
+    if restore_icr {
+        let icr = mem.read(base.offset(8), 4)?;
+        st.icr_ccpn = (icr & 0xFF) as u8;
+        st.icr_ie = icr & (1 << ICR_IE_BIT) != 0;
+    }
+    for (i, reg) in (10..16).enumerate() {
+        st.a[reg] = mem.read(base.offset(12 + 4 * i as u32), 4)?;
+    }
+    for (i, reg) in (8..15).enumerate() {
+        st.d[reg] = mem.read(base.offset(36 + 4 * i as u32), 4)?;
+    }
+    // Return the frame to the free list.
+    mem.write(base, 4, st.fcx)?;
+    st.fcx = frame;
+    st.pcx = older;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::FlatMem;
+
+    fn mem_with_ram() -> FlatMem {
+        let mut m = FlatMem::new();
+        m.add_region(Addr(0xD000_0000), 64 * 1024);
+        m
+    }
+
+    #[test]
+    fn csfr_icr_packing() {
+        let mut st = ArchState::new(0);
+        st.write_csfr(Csfr::Icr as u16, 0x105);
+        assert!(st.icr_ie);
+        assert_eq!(st.icr_ccpn, 5);
+        assert_eq!(st.icr(), 0x105);
+        st.write_csfr(Csfr::Icr as u16, 0x07);
+        assert!(!st.icr_ie);
+        assert_eq!(st.icr_ccpn, 7);
+    }
+
+    #[test]
+    fn unknown_csfr_reads_zero_and_ignores_writes() {
+        let mut st = ArchState::new(0);
+        st.write_csfr(0x7FF, 0xDEAD_BEEF);
+        assert_eq!(st.read_csfr(0x7FF), 0);
+    }
+
+    #[test]
+    fn csa_list_links_correctly() {
+        let mut mem = mem_with_ram();
+        let head = init_csa_list(&mut mem, Addr(0xD000_1000), 3).unwrap();
+        assert_eq!(head, 0xD000_1000);
+        assert_eq!(mem.read(Addr(0xD000_1000), 4).unwrap(), 0xD000_1040);
+        assert_eq!(mem.read(Addr(0xD000_1040), 4).unwrap(), 0xD000_1080);
+        assert_eq!(mem.read(Addr(0xD000_1080), 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mut mem = mem_with_ram();
+        let mut st = ArchState::new(0x8000_0000);
+        st.fcx = init_csa_list(&mut mem, Addr(0xD000_2000), 4).unwrap();
+        st.a[10] = 0x1111;
+        st.a[11] = 0x2222;
+        st.a[15] = 0x3333;
+        st.d[8] = 0x4444;
+        st.d[14] = 0x5555;
+        st.psw = 0xAB;
+        st.icr_ie = true;
+        st.icr_ccpn = 3;
+
+        save_upper_context(&mut st, &mut mem).unwrap();
+        // Callee clobbers everything in the upper context.
+        st.a[10] = 0;
+        st.a[11] = 0;
+        st.a[15] = 0;
+        st.d[8] = 0;
+        st.d[14] = 0;
+        st.psw = 0;
+        st.icr_ccpn = 7;
+        st.icr_ie = false;
+
+        restore_upper_context(&mut st, &mut mem, true).unwrap();
+        assert_eq!(st.a[10], 0x1111);
+        assert_eq!(st.a[11], 0x2222);
+        assert_eq!(st.a[15], 0x3333);
+        assert_eq!(st.d[8], 0x4444);
+        assert_eq!(st.d[14], 0x5555);
+        assert_eq!(st.psw, 0xAB);
+        assert!(st.icr_ie);
+        assert_eq!(st.icr_ccpn, 3);
+    }
+
+    #[test]
+    fn ret_does_not_restore_icr() {
+        let mut mem = mem_with_ram();
+        let mut st = ArchState::new(0);
+        st.fcx = init_csa_list(&mut mem, Addr(0xD000_2000), 2).unwrap();
+        st.icr_ccpn = 1;
+        save_upper_context(&mut st, &mut mem).unwrap();
+        st.icr_ccpn = 9;
+        restore_upper_context(&mut st, &mut mem, false).unwrap();
+        assert_eq!(st.icr_ccpn, 9);
+    }
+
+    #[test]
+    fn nested_save_restore_is_a_stack() {
+        let mut mem = mem_with_ram();
+        let mut st = ArchState::new(0);
+        st.fcx = init_csa_list(&mut mem, Addr(0xD000_2000), 4).unwrap();
+        st.a[11] = 100;
+        save_upper_context(&mut st, &mut mem).unwrap();
+        st.a[11] = 200;
+        save_upper_context(&mut st, &mut mem).unwrap();
+        st.a[11] = 0;
+        restore_upper_context(&mut st, &mut mem, false).unwrap();
+        assert_eq!(st.a[11], 200);
+        restore_upper_context(&mut st, &mut mem, false).unwrap();
+        assert_eq!(st.a[11], 100);
+        assert_eq!(st.pcx, 0);
+    }
+
+    #[test]
+    fn fcx_exhaustion_faults() {
+        let mut mem = mem_with_ram();
+        let mut st = ArchState::new(0);
+        st.fcx = init_csa_list(&mut mem, Addr(0xD000_2000), 1).unwrap();
+        save_upper_context(&mut st, &mut mem).unwrap();
+        let err = save_upper_context(&mut st, &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::ProgramFault { .. }));
+    }
+
+    #[test]
+    fn pcx_underflow_faults() {
+        let mut mem = mem_with_ram();
+        let mut st = ArchState::new(0);
+        let err = restore_upper_context(&mut st, &mut mem, false).unwrap_err();
+        assert!(matches!(err, SimError::ProgramFault { .. }));
+    }
+}

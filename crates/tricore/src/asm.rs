@@ -1,0 +1,1518 @@
+//! Two-pass text assembler for TC-R programs.
+//!
+//! The workloads in this repository (engine control, transmission,
+//! microbenchmarks) are written in this assembly dialect and run on the
+//! simulated SoC, so the profiling methodology is exercised on real machine
+//! code rather than hand-placed event streams.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment (also #)
+//! .org   0x80000000          ; start a section
+//! .equ   TICKS, 1000         ; named constant
+//! .align 4                   ; pad with zero bytes
+//! .word  1, 2, table         ; 32-bit data (expressions allowed)
+//! .half  0x1234              ; 16-bit data
+//! .byte  1, 2, 3             ; 8-bit data
+//! .space 64                  ; reserve zeroed bytes
+//!
+//! _start:                    ; labels end with ':'
+//!     li    d0, 0x12345678   ; pseudo: load 32-bit constant (2 instrs)
+//!     la    a2, table        ; pseudo: load 32-bit address (2 instrs)
+//!     ld.w  d1, [a2]         ; word load, zero offset (16-bit form)
+//!     ld.w  d1, [a2+8]       ; word load with offset
+//!     st.w  d1, [a2+]4       ; word store, post-increment a2 by 4
+//!     add   d1, d1, d0
+//!     jne   d1, d0, _start   ; compare-and-branch to a label
+//!     loop  a3, _start       ; hardware loop
+//!     call  function
+//!     halt
+//! ```
+//!
+//! Registers are written `d0..d15`, `a0..a15`, with aliases `sp` (= `a10`)
+//! and `ra` (= `a11`). Expressions support `+`/`-`, decimal/hex/binary
+//! literals, char literals, symbols, and the functions `lo(x)`, `hi(x)`
+//! (plain halves) and `hia(x)` (high half adjusted for a signed low half).
+
+use std::collections::BTreeMap;
+
+use audo_common::{Addr, SimError};
+
+use crate::encode::encode_sized;
+use crate::image::{Image, Section};
+use crate::isa::{AReg, BranchCond, Csfr, DReg, Instr, MemWidth};
+
+/// Assembles TC-R source text into an [`Image`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Assemble`] with a line number and message on any
+/// syntax error, undefined symbol, or out-of-range immediate/offset.
+///
+/// # Examples
+///
+/// ```
+/// use audo_tricore::asm::assemble;
+/// let image = assemble(".org 0x1000\nstart: movi d0, 7\n halt\n")?;
+/// assert_eq!(image.symbol("start"), Some(audo_common::Addr(0x1000)));
+/// # Ok::<(), audo_common::SimError>(())
+/// ```
+pub fn assemble(src: &str) -> Result<Image, SimError> {
+    Assembler::new().run(src)
+}
+
+fn err(line: usize, message: impl Into<String>) -> SimError {
+    SimError::Assemble {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Debug)]
+enum Item {
+    /// An instruction (possibly a pseudo expanding to several).
+    Code {
+        line: usize,
+        pc: u32,
+        size: u32,
+        mnemonic: String,
+        ops: Vec<String>,
+    },
+    /// `.word`/`.half`/`.byte` data with expression elements.
+    Data {
+        line: usize,
+        pc: u32,
+        width: u8,
+        exprs: Vec<String>,
+    },
+    /// `.space` fill.
+    Space { pc: u32, len: u32 },
+    /// `.align` padding.
+    Pad { pc: u32, len: u32 },
+}
+
+#[derive(Debug, Default)]
+struct Assembler {
+    symbols: BTreeMap<String, u32>,
+    items: Vec<Item>,
+    section_starts: Vec<u32>,
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    fn run(mut self, src: &str) -> Result<Image, SimError> {
+        self.pass1(src)?;
+        self.pass2()
+    }
+
+    fn pass1(&mut self, src: &str) -> Result<(), SimError> {
+        let mut pc: Option<u32> = None;
+        for (idx, raw) in src.lines().enumerate() {
+            let line_no = idx + 1;
+            let mut line = raw;
+            if let Some(p) = line.find([';', '#']) {
+                line = &line[..p];
+            }
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut rest = line;
+            // Labels (possibly several on one line).
+            while let Some(colon) = rest.find(':') {
+                let (label, after) = rest.split_at(colon);
+                let label = label.trim();
+                if !is_ident(label) {
+                    break;
+                }
+                let here = pc.ok_or_else(|| err(line_no, "label before any .org directive"))?;
+                if self.symbols.insert(label.to_string(), here).is_some() {
+                    return Err(err(line_no, format!("duplicate symbol `{label}`")));
+                }
+                rest = after[1..].trim_start();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            let (mnemonic, args) = split_mnemonic(rest);
+            let mnemonic = mnemonic.to_ascii_lowercase();
+            let ops = split_operands(args);
+            if let Some(directive) = mnemonic.strip_prefix('.') {
+                pc = self.directive(line_no, directive, &ops, pc)?;
+                continue;
+            }
+            let here = pc.ok_or_else(|| err(line_no, "instruction before .org"))?;
+            if here % 2 != 0 {
+                return Err(err(
+                    line_no,
+                    "instruction at odd address (missing .align 2?)",
+                ));
+            }
+            let size = self.instr_size(line_no, &mnemonic, &ops)?;
+            self.items.push(Item::Code {
+                line: line_no,
+                pc: here,
+                size,
+                mnemonic,
+                ops,
+            });
+            pc = Some(here + size);
+        }
+        Ok(())
+    }
+
+    fn directive(
+        &mut self,
+        line: usize,
+        name: &str,
+        ops: &[String],
+        pc: Option<u32>,
+    ) -> Result<Option<u32>, SimError> {
+        match name {
+            "org" => {
+                let base = self.eval(
+                    line,
+                    ops.first()
+                        .ok_or_else(|| err(line, ".org needs an address"))?,
+                )?;
+                self.section_starts.push(base);
+                Ok(Some(base))
+            }
+            "equ" => {
+                if ops.len() != 2 {
+                    return Err(err(line, ".equ needs NAME, VALUE"));
+                }
+                let value = self.eval(line, &ops[1])?;
+                if !is_ident(&ops[0]) {
+                    return Err(err(line, format!("invalid .equ name `{}`", ops[0])));
+                }
+                if self.symbols.insert(ops[0].clone(), value).is_some() {
+                    return Err(err(line, format!("duplicate symbol `{}`", ops[0])));
+                }
+                Ok(pc)
+            }
+            "global" => Ok(pc), // all symbols are visible; accepted for style
+            "align" => {
+                let here = pc.ok_or_else(|| err(line, ".align before .org"))?;
+                let a = self.eval(
+                    line,
+                    ops.first()
+                        .ok_or_else(|| err(line, ".align needs a value"))?,
+                )?;
+                if a == 0 || !a.is_power_of_two() {
+                    return Err(err(line, ".align requires a power of two"));
+                }
+                let new = (here + a - 1) & !(a - 1);
+                if new != here {
+                    self.items.push(Item::Pad {
+                        pc: here,
+                        len: new - here,
+                    });
+                }
+                Ok(Some(new))
+            }
+            "word" | "half" | "byte" => {
+                let here = pc.ok_or_else(|| err(line, "data before .org"))?;
+                let width: u8 = match name {
+                    "word" => 4,
+                    "half" => 2,
+                    _ => 1,
+                };
+                if ops.is_empty() {
+                    return Err(err(line, format!(".{name} needs at least one value")));
+                }
+                let len = ops.len() as u32 * u32::from(width);
+                self.items.push(Item::Data {
+                    line,
+                    pc: here,
+                    width,
+                    exprs: ops.to_vec(),
+                });
+                Ok(Some(here + len))
+            }
+            "space" => {
+                let here = pc.ok_or_else(|| err(line, ".space before .org"))?;
+                let n = self.eval(
+                    line,
+                    ops.first()
+                        .ok_or_else(|| err(line, ".space needs a length"))?,
+                )?;
+                self.items.push(Item::Space { pc: here, len: n });
+                Ok(Some(here + n))
+            }
+            other => Err(err(line, format!("unknown directive `.{other}`"))),
+        }
+    }
+
+    /// Size (in bytes) the instruction will occupy; depends only on the
+    /// mnemonic, register operands and *pass-1-resolvable* literals.
+    fn instr_size(&self, line: usize, m: &str, ops: &[String]) -> Result<u32, SimError> {
+        let size = match m {
+            "li" | "la" => 8,
+            "nop" | "ret" => 2,
+            "mov" if ops.len() == 2 && dreg(&ops[1]).is_some() => 2,
+            "mov.aa" | "mov.a" | "mov.d" => 2,
+            "add" | "sub" | "and" | "or"
+                if ops.len() == 3 && ops[0] == ops[1] && dreg(&ops[2]).is_some() =>
+            {
+                2
+            }
+            "addi" if ops.len() == 3 && ops[0] == ops[1] => match self.try_eval(&ops[2]) {
+                Some(v) if (-8..8).contains(&(v as i32)) => 2,
+                _ => 4,
+            },
+            "ld.w" | "st.w"
+                if ops.len() == 2 && parse_mem(&ops[1]).map(|m| m.is_plain()) == Some(true) =>
+            {
+                2
+            }
+            "debug" | "dbg" => match self.try_eval(ops.first().map_or("", |s| s)) {
+                Some(v) if v < 16 => 2,
+                _ => 4,
+            },
+            _ => 4,
+        };
+        let _ = line;
+        Ok(size)
+    }
+
+    fn pass2(mut self) -> Result<Image, SimError> {
+        // Build section extents.
+        let mut writes: Vec<(u32, Vec<u8>)> = Vec::new();
+        let items = std::mem::take(&mut self.items);
+        for item in &items {
+            match item {
+                Item::Code {
+                    line,
+                    pc,
+                    size,
+                    mnemonic,
+                    ops,
+                } => {
+                    let instrs = self.build_instrs(*line, *pc, mnemonic, ops, *size)?;
+                    let mut bytes = Vec::with_capacity(*size as usize);
+                    for (inst, want) in instrs {
+                        let enc = encode_sized(&inst, want);
+                        bytes.extend_from_slice(enc.as_bytes());
+                    }
+                    if bytes.len() as u32 != *size {
+                        return Err(err(
+                            *line,
+                            format!(
+                                "internal size mismatch: reserved {size}, emitted {}",
+                                bytes.len()
+                            ),
+                        ));
+                    }
+                    writes.push((*pc, bytes));
+                }
+                Item::Data {
+                    line,
+                    pc,
+                    width,
+                    exprs,
+                } => {
+                    let mut bytes = Vec::new();
+                    for e in exprs {
+                        let v = self.eval(*line, e)?;
+                        match width {
+                            4 => bytes.extend_from_slice(&v.to_le_bytes()),
+                            2 => {
+                                if v > 0xFFFF && (v as i32) < -0x8000 {
+                                    return Err(err(*line, format!("{e} out of 16-bit range")));
+                                }
+                                bytes.extend_from_slice(&(v as u16).to_le_bytes());
+                            }
+                            _ => {
+                                bytes.push(v as u8);
+                            }
+                        }
+                    }
+                    writes.push((*pc, bytes));
+                }
+                Item::Space { pc, len } | Item::Pad { pc, len } => {
+                    writes.push((*pc, vec![0u8; *len as usize]));
+                }
+            }
+        }
+        // Merge writes into contiguous sections.
+        writes.sort_by_key(|&(pc, _)| pc);
+        let mut sections: Vec<Section> = Vec::new();
+        for (pc, bytes) in writes {
+            if bytes.is_empty() {
+                continue;
+            }
+            match sections.last_mut() {
+                Some(s) if s.base.0 as u64 + s.bytes.len() as u64 == u64::from(pc) => {
+                    s.bytes.extend_from_slice(&bytes);
+                }
+                _ => sections.push(Section {
+                    base: Addr(pc),
+                    bytes,
+                }),
+            }
+        }
+        Ok(Image::from_parts(sections, self.symbols))
+    }
+
+    // ------------------------------------------------------------------
+    // Instruction construction (pass 2)
+    // ------------------------------------------------------------------
+
+    /// Builds the instruction(s) for one source line together with the
+    /// encoded width each must take.
+    fn build_instrs(
+        &self,
+        line: usize,
+        pc: u32,
+        m: &str,
+        ops: &[String],
+        size: u32,
+    ) -> Result<Vec<(Instr, u8)>, SimError> {
+        use Instr::*;
+        let e = |n: usize| -> Result<&str, SimError> {
+            ops.get(n)
+                .map(String::as_str)
+                .ok_or_else(|| err(line, "missing operand"))
+        };
+        let d = |n: usize| -> Result<DReg, SimError> {
+            dreg(e(n)?).ok_or_else(|| {
+                err(
+                    line,
+                    format!("expected data register, got `{}`", e(n).unwrap_or("")),
+                )
+            })
+        };
+        let a = |n: usize| -> Result<AReg, SimError> {
+            areg(e(n)?).ok_or_else(|| {
+                err(
+                    line,
+                    format!("expected address register, got `{}`", e(n).unwrap_or("")),
+                )
+            })
+        };
+        let nops = ops.len();
+        let arity = |want: usize| -> Result<(), SimError> {
+            if nops == want {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("`{m}` expects {want} operands, got {nops}"),
+                ))
+            }
+        };
+
+        let single = |i: Instr| -> Vec<(Instr, u8)> { vec![(i, size as u8)] };
+
+        let instrs: Vec<(Instr, u8)> = match m {
+            "nop" => single(Nop),
+            "halt" => single(Halt),
+            "wait" => single(Wait),
+            "ret" => single(Ret),
+            "rfe" => single(Rfe),
+            "enable" => single(Enable),
+            "disable" => single(Disable),
+            "debug" | "dbg" => {
+                arity(1)?;
+                let v = self.eval(line, e(0)?)?;
+                if v > 255 {
+                    return Err(err(line, "debug code exceeds 8 bits"));
+                }
+                single(Debug { code: v as u8 })
+            }
+            "syscall" => {
+                arity(1)?;
+                let v = self.eval(line, e(0)?)?;
+                single(Syscall {
+                    num: self.check_u12(line, v)?,
+                })
+            }
+            "mov" => {
+                arity(2)?;
+                single(MovD {
+                    rd: d(0)?,
+                    rs: d(1)?,
+                })
+            }
+            "mov.aa" => {
+                arity(2)?;
+                single(MovAA {
+                    ad: a(0)?,
+                    a_src: a(1)?,
+                })
+            }
+            "mov.a" => {
+                arity(2)?;
+                single(MovDtoA {
+                    ad: a(0)?,
+                    rs: d(1)?,
+                })
+            }
+            "mov.d" => {
+                arity(2)?;
+                single(MovAtoD {
+                    rd: d(0)?,
+                    a_src: a(1)?,
+                })
+            }
+            "movi" => {
+                arity(2)?;
+                let v = self.eval(line, e(1)?)? as i64 as i32;
+                if !(-32768..=32767).contains(&v) && (v as u32) > 0xFFFF {
+                    return Err(err(line, "movi immediate out of signed 16-bit range"));
+                }
+                single(MovI {
+                    rd: d(0)?,
+                    imm: v as i16,
+                })
+            }
+            "movu" => {
+                arity(2)?;
+                let v = self.eval(line, e(1)?)?;
+                if v > 0xFFFF {
+                    return Err(err(line, "movu immediate out of 16-bit range"));
+                }
+                single(MovU {
+                    rd: d(0)?,
+                    imm: v as u16,
+                })
+            }
+            "movh" => {
+                arity(2)?;
+                let v = self.eval(line, e(1)?)?;
+                if v > 0xFFFF {
+                    return Err(err(line, "movh immediate out of 16-bit range"));
+                }
+                single(MovH {
+                    rd: d(0)?,
+                    imm: v as u16,
+                })
+            }
+            "movh.a" => {
+                arity(2)?;
+                let v = self.eval(line, e(1)?)?;
+                if v > 0xFFFF {
+                    return Err(err(line, "movh.a immediate out of 16-bit range"));
+                }
+                single(MovHA {
+                    ad: a(0)?,
+                    imm: v as u16,
+                })
+            }
+            "addia" => {
+                arity(2)?;
+                let v = self.eval(line, e(1)?)? as i32;
+                single(AddIA {
+                    ad: a(0)?,
+                    imm: v as i16,
+                })
+            }
+            "oril" => {
+                arity(2)?;
+                let v = self.eval(line, e(1)?)?;
+                if v > 0xFFFF {
+                    return Err(err(line, "oril immediate out of 16-bit range"));
+                }
+                single(OrIL {
+                    rd: d(0)?,
+                    imm: v as u16,
+                })
+            }
+            "li" => {
+                arity(2)?;
+                let v = self.eval(line, e(1)?)?;
+                let rd = d(0)?;
+                vec![
+                    (
+                        MovH {
+                            rd,
+                            imm: (v >> 16) as u16,
+                        },
+                        4,
+                    ),
+                    (OrIL { rd, imm: v as u16 }, 4),
+                ]
+            }
+            "la" => {
+                arity(2)?;
+                let v = self.eval(line, e(1)?)?;
+                let ad = a(0)?;
+                let lo = v as u16 as i16;
+                let hi = (v.wrapping_sub(lo as i32 as u32) >> 16) as u16;
+                vec![(MovHA { ad, imm: hi }, 4), (AddIA { ad, imm: lo }, 4)]
+            }
+            "lea" => {
+                arity(3)?;
+                let off = self.check_i12(line, self.eval_signed(line, e(2)?)?)?;
+                single(Lea {
+                    ad: a(0)?,
+                    ab: a(1)?,
+                    off,
+                })
+            }
+            "add" | "sub" | "and" | "or" | "xor" | "min" | "max" | "mul" | "mac" | "div"
+            | "rem" | "sh" | "sha" | "lt" | "ltu" | "eq" | "ne" => {
+                arity(3)?;
+                let (rd, ra, rb) = (d(0)?, d(1)?, d(2)?);
+                let i = match m {
+                    "add" => Add { rd, ra, rb },
+                    "sub" => Sub { rd, ra, rb },
+                    "and" => And { rd, ra, rb },
+                    "or" => Or { rd, ra, rb },
+                    "xor" => Xor { rd, ra, rb },
+                    "min" => Min { rd, ra, rb },
+                    "max" => Max { rd, ra, rb },
+                    "mul" => Mul { rd, ra, rb },
+                    "mac" => Mac { rd, ra, rb },
+                    "div" => Div { rd, ra, rb },
+                    "rem" => Rem { rd, ra, rb },
+                    "sh" => Sh { rd, ra, rb },
+                    "sha" => Sha { rd, ra, rb },
+                    "lt" => Lt { rd, ra, rb },
+                    "ltu" => LtU { rd, ra, rb },
+                    "eq" => EqR { rd, ra, rb },
+                    _ => NeR { rd, ra, rb },
+                };
+                single(i)
+            }
+            "sel" => {
+                arity(3)?;
+                single(Sel {
+                    rd: d(0)?,
+                    cond: d(1)?,
+                    rs: d(2)?,
+                })
+            }
+            "shi" => {
+                arity(3)?;
+                let v = self.eval_signed(line, e(2)?)?;
+                if !(-32..=31).contains(&v) {
+                    return Err(err(line, "shift amount out of -32..=31"));
+                }
+                single(ShI {
+                    rd: d(0)?,
+                    ra: d(1)?,
+                    amount: v as i8,
+                })
+            }
+            "addi" => {
+                arity(3)?;
+                let v = self.check_i12(line, self.eval_signed(line, e(2)?)?)?;
+                single(AddI {
+                    rd: d(0)?,
+                    ra: d(1)?,
+                    imm: v,
+                })
+            }
+            "andi" | "ori" | "xori" => {
+                arity(3)?;
+                let v = self.eval(line, e(2)?)?;
+                let imm = self.check_u12(line, v)?;
+                let (rd, ra) = (d(0)?, d(1)?);
+                single(match m {
+                    "andi" => AndI { rd, ra, imm },
+                    "ori" => OrI { rd, ra, imm },
+                    _ => XorI { rd, ra, imm },
+                })
+            }
+            "clz" => {
+                arity(2)?;
+                single(Clz {
+                    rd: d(0)?,
+                    ra: d(1)?,
+                })
+            }
+            "sext.b" | "sext.h" | "zext.b" | "zext.h" => {
+                arity(2)?;
+                let (rd, ra) = (d(0)?, d(1)?);
+                single(match m {
+                    "sext.b" => SextB { rd, ra },
+                    "sext.h" => SextH { rd, ra },
+                    "zext.b" => ZextB { rd, ra },
+                    _ => ZextH { rd, ra },
+                })
+            }
+            "extr" | "insert" => {
+                arity(4)?;
+                let pos = self.eval(line, e(2)?)?;
+                let width = self.eval(line, e(3)?)?;
+                if pos > 31 || width == 0 || width > 32 {
+                    return Err(err(line, "extr/insert pos must be 0..=31, width 1..=32"));
+                }
+                single(if m == "extr" {
+                    Extr {
+                        rd: d(0)?,
+                        ra: d(1)?,
+                        pos: pos as u8,
+                        width: width as u8,
+                    }
+                } else {
+                    Insert {
+                        rd: d(0)?,
+                        rs: d(1)?,
+                        pos: pos as u8,
+                        width: width as u8,
+                    }
+                })
+            }
+            "ld.w" | "ld.h" | "ld.hu" | "ld.b" | "ld.bu" => {
+                arity(2)?;
+                let rd = d(0)?;
+                let mem = parse_mem(e(1)?).ok_or_else(|| err(line, "bad memory operand"))?;
+                let (width, sign) = match m {
+                    "ld.w" => (MemWidth::Word, false),
+                    "ld.h" => (MemWidth::Half, true),
+                    "ld.hu" => (MemWidth::Half, false),
+                    "ld.b" => (MemWidth::Byte, true),
+                    _ => (MemWidth::Byte, false),
+                };
+                match mem {
+                    MemOperand::PostInc { base, inc } => {
+                        if width != MemWidth::Word {
+                            return Err(err(line, "post-increment only supported for .w"));
+                        }
+                        let inc = self.check_i12(line, self.eval_signed(line, &inc)?)?;
+                        single(LdWPostInc { rd, ab: base, inc })
+                    }
+                    MemOperand::Offset { base, off } => {
+                        let off = self.check_i12(line, self.eval_signed(line, &off)?)?;
+                        single(Ld {
+                            rd,
+                            ab: base,
+                            off,
+                            width,
+                            sign,
+                        })
+                    }
+                }
+            }
+            "st.w" | "st.h" | "st.b" => {
+                arity(2)?;
+                let rs = d(0)?;
+                let mem = parse_mem(e(1)?).ok_or_else(|| err(line, "bad memory operand"))?;
+                let width = match m {
+                    "st.w" => MemWidth::Word,
+                    "st.h" => MemWidth::Half,
+                    _ => MemWidth::Byte,
+                };
+                match mem {
+                    MemOperand::PostInc { base, inc } => {
+                        if width != MemWidth::Word {
+                            return Err(err(line, "post-increment only supported for .w"));
+                        }
+                        let inc = self.check_i12(line, self.eval_signed(line, &inc)?)?;
+                        single(StWPostInc { rs, ab: base, inc })
+                    }
+                    MemOperand::Offset { base, off } => {
+                        let off = self.check_i12(line, self.eval_signed(line, &off)?)?;
+                        single(St {
+                            rs,
+                            ab: base,
+                            off,
+                            width,
+                        })
+                    }
+                }
+            }
+            "ld.a" | "st.a" => {
+                arity(2)?;
+                let r = a(0)?;
+                let mem = parse_mem(e(1)?).ok_or_else(|| err(line, "bad memory operand"))?;
+                let MemOperand::Offset { base, off } = mem else {
+                    return Err(err(line, "post-increment not supported for .a"));
+                };
+                let off = self.check_i12(line, self.eval_signed(line, &off)?)?;
+                single(if m == "ld.a" {
+                    LdA {
+                        ad: r,
+                        ab: base,
+                        off,
+                    }
+                } else {
+                    StA {
+                        a_src: r,
+                        ab: base,
+                        off,
+                    }
+                })
+            }
+            "j" | "jl" | "call" => {
+                arity(1)?;
+                let off = self.branch_off24(line, pc, e(0)?)?;
+                single(match m {
+                    "j" => J { off },
+                    "jl" => Jl { off },
+                    _ => Call { off },
+                })
+            }
+            "ji" => {
+                arity(1)?;
+                single(Ji { aa: a(0)? })
+            }
+            "calli" => {
+                arity(1)?;
+                single(CallI { aa: a(0)? })
+            }
+            "jeq" | "jne" | "jlt" | "jge" | "jltu" | "jgeu" => {
+                arity(3)?;
+                let cond = match m {
+                    "jeq" => BranchCond::Eq,
+                    "jne" => BranchCond::Ne,
+                    "jlt" => BranchCond::Lt,
+                    "jge" => BranchCond::Ge,
+                    "jltu" => BranchCond::LtU,
+                    _ => BranchCond::GeU,
+                };
+                let off = self.branch_off12(line, pc, e(2)?)?;
+                single(JCond {
+                    cond,
+                    ra: d(0)?,
+                    rb: d(1)?,
+                    off,
+                })
+            }
+            "jz" | "jnz" => {
+                arity(2)?;
+                let off = self.branch_off12(line, pc, e(1)?)?;
+                single(if m == "jz" {
+                    Jz { ra: d(0)?, off }
+                } else {
+                    Jnz { ra: d(0)?, off }
+                })
+            }
+            "loop" => {
+                arity(2)?;
+                let off = self.branch_off12(line, pc, e(1)?)?;
+                single(Loop { aa: a(0)?, off })
+            }
+            "mfcr" => {
+                arity(2)?;
+                let num = self.csfr_num(line, e(1)?)?;
+                single(Mfcr {
+                    rd: d(0)?,
+                    csfr: num,
+                })
+            }
+            "mtcr" => {
+                arity(2)?;
+                let num = self.csfr_num(line, e(0)?)?;
+                single(Mtcr {
+                    csfr: num,
+                    rs: d(1)?,
+                })
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+
+        // For multi-instruction pseudos the per-instruction widths are fixed
+        // (always 4); for single instructions the reserved size applies.
+        Ok(instrs)
+    }
+
+    fn branch_off24(&self, line: usize, pc: u32, target: &str) -> Result<i32, SimError> {
+        let t = self.eval(line, target)?;
+        let delta = t.wrapping_sub(pc) as i32;
+        if delta % 2 != 0 {
+            return Err(err(line, "branch target at odd distance"));
+        }
+        let off = delta / 2;
+        if !(-(1 << 23)..(1 << 23)).contains(&off) {
+            return Err(err(line, "branch target out of 24-bit range"));
+        }
+        Ok(off)
+    }
+
+    fn branch_off12(&self, line: usize, pc: u32, target: &str) -> Result<i16, SimError> {
+        let t = self.eval(line, target)?;
+        let delta = t.wrapping_sub(pc) as i32;
+        if delta % 2 != 0 {
+            return Err(err(line, "branch target at odd distance"));
+        }
+        let off = delta / 2;
+        if !(-2048..2048).contains(&off) {
+            return Err(err(
+                line,
+                format!("branch target out of 12-bit range ({off})"),
+            ));
+        }
+        Ok(off as i16)
+    }
+
+    fn check_i12(&self, line: usize, v: i32) -> Result<i16, SimError> {
+        if (-2048..2048).contains(&v) {
+            Ok(v as i16)
+        } else {
+            Err(err(
+                line,
+                format!("immediate {v} out of signed 12-bit range"),
+            ))
+        }
+    }
+
+    fn check_u12(&self, line: usize, v: u32) -> Result<u16, SimError> {
+        if v < 4096 {
+            Ok(v as u16)
+        } else {
+            Err(err(
+                line,
+                format!("immediate {v} out of unsigned 12-bit range"),
+            ))
+        }
+    }
+
+    fn csfr_num(&self, line: usize, s: &str) -> Result<u16, SimError> {
+        let named = match s.to_ascii_lowercase().as_str() {
+            "psw" => Some(Csfr::Psw as u16),
+            "icr" => Some(Csfr::Icr as u16),
+            "biv" => Some(Csfr::Biv as u16),
+            "btv" => Some(Csfr::Btv as u16),
+            "fcx" => Some(Csfr::Fcx as u16),
+            "pcx" => Some(Csfr::Pcx as u16),
+            "core_id" => Some(Csfr::CoreId as u16),
+            "syscon" => Some(Csfr::Syscon as u16),
+            _ => None,
+        };
+        match named {
+            Some(n) => Ok(n),
+            None => self.check_u12(line, self.eval(line, s)?),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn try_eval(&self, s: &str) -> Option<u32> {
+        eval_expr(s, &self.symbols).ok()
+    }
+
+    fn eval(&self, line: usize, s: &str) -> Result<u32, SimError> {
+        eval_expr(s, &self.symbols).map_err(|m| err(line, m))
+    }
+
+    fn eval_signed(&self, line: usize, s: &str) -> Result<i32, SimError> {
+        Ok(self.eval(line, s)? as i32)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lexical helpers
+// ----------------------------------------------------------------------
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn split_mnemonic(line: &str) -> (&str, &str) {
+    match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    }
+}
+
+/// Splits an operand list on commas that are not inside brackets.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' | '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn dreg(s: &str) -> Option<DReg> {
+    let s = s.to_ascii_lowercase();
+    let n: u8 = s.strip_prefix('d')?.parse().ok()?;
+    (n < 16).then_some(DReg(n))
+}
+
+fn areg(s: &str) -> Option<AReg> {
+    let s = s.to_ascii_lowercase();
+    match s.as_str() {
+        "sp" => return Some(AReg::SP),
+        "ra" => return Some(AReg::RA),
+        _ => {}
+    }
+    let n: u8 = s.strip_prefix('a')?.parse().ok()?;
+    (n < 16).then_some(AReg(n))
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum MemOperand {
+    Offset { base: AReg, off: String },
+    PostInc { base: AReg, inc: String },
+}
+
+impl MemOperand {
+    fn is_plain(&self) -> bool {
+        matches!(self, MemOperand::Offset { off, .. } if off == "0")
+    }
+}
+
+/// Parses `[aN]`, `[aN+expr]`, `[aN-expr]` or `[aN+]expr`.
+fn parse_mem(s: &str) -> Option<MemOperand> {
+    let s = s.trim();
+    let open = s.find('[')?;
+    if open != 0 {
+        return None;
+    }
+    let close = s.find(']')?;
+    let inner = &s[1..close];
+    let after = s[close + 1..].trim();
+    if let Some(base) = inner.strip_suffix('+') {
+        // Post-increment: `[aN+]inc`
+        let base = areg(base.trim())?;
+        if after.is_empty() {
+            return None;
+        }
+        return Some(MemOperand::PostInc {
+            base,
+            inc: after.to_string(),
+        });
+    }
+    if !after.is_empty() {
+        return None;
+    }
+    // Find the split between register and offset (first +/- after the reg).
+    let inner = inner.trim();
+    if let Some(pos) = inner.find(['+', '-']) {
+        let base = areg(inner[..pos].trim())?;
+        let off = if inner.as_bytes()[pos] == b'-' {
+            inner[pos..].trim().to_string()
+        } else {
+            inner[pos + 1..].trim().to_string()
+        };
+        Some(MemOperand::Offset { base, off })
+    } else {
+        let base = areg(inner)?;
+        Some(MemOperand::Offset {
+            base,
+            off: "0".to_string(),
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Expression evaluator
+// ----------------------------------------------------------------------
+
+fn eval_expr(s: &str, symbols: &BTreeMap<String, u32>) -> Result<u32, String> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        pos: 0,
+        symbols,
+    };
+    let v = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(format!("trailing input in expression `{s}`"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+    symbols: &'a BTreeMap<String, u32>,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn expr(&mut self) -> Result<u32, String> {
+        let mut v = self.mul_term()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    v = v.wrapping_add(self.mul_term()?);
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    v = v.wrapping_sub(self.mul_term()?);
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn mul_term(&mut self) -> Result<u32, String> {
+        let mut v = self.term()?;
+        while self.peek() == Some(b'*') {
+            self.pos += 1;
+            v = v.wrapping_mul(self.term()?);
+        }
+        Ok(v)
+    }
+
+    fn term(&mut self) -> Result<u32, String> {
+        match self.peek() {
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(self.term()?.wrapping_neg())
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let v = self.expr()?;
+                if self.peek() != Some(b')') {
+                    return Err("missing `)`".to_string());
+                }
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(b'\'') => {
+                // Char literal.
+                self.pos += 1;
+                let c = *self.s.get(self.pos).ok_or("unterminated char literal")?;
+                self.pos += 1;
+                if self.s.get(self.pos) != Some(&b'\'') {
+                    return Err("unterminated char literal".to_string());
+                }
+                self.pos += 1;
+                Ok(u32::from(c))
+            }
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.ident_or_func(),
+            other => Err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, String> {
+        self.skip_ws();
+        let start = self.pos;
+        let radix = if self.s[self.pos..].starts_with(b"0x")
+            || self.s[self.pos..].starts_with(b"0X")
+        {
+            self.pos += 2;
+            16
+        } else if self.s[self.pos..].starts_with(b"0b") || self.s[self.pos..].starts_with(b"0B") {
+            self.pos += 2;
+            2
+        } else {
+            10
+        };
+        let digits_start = self.pos;
+        while self.pos < self.s.len()
+            && (self.s[self.pos].is_ascii_alphanumeric() || self.s[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        let text: String = std::str::from_utf8(&self.s[digits_start..self.pos])
+            .map_err(|_| "bad number")?
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        i64::from_str_radix(&text, radix)
+            .map(|v| v as u32)
+            .map_err(|_| {
+                format!(
+                    "bad number `{}`",
+                    String::from_utf8_lossy(&self.s[start..self.pos])
+                )
+            })
+    }
+
+    fn ident_or_func(&mut self) -> Result<u32, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && (self.s[self.pos].is_ascii_alphanumeric()
+                || self.s[self.pos] == b'_'
+                || self.s[self.pos] == b'.')
+        {
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.s[start..self.pos]).map_err(|_| "bad ident")?;
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let v = self.expr()?;
+            if self.peek() != Some(b')') {
+                return Err("missing `)` after function argument".to_string());
+            }
+            self.pos += 1;
+            return match name {
+                "lo" => Ok(v & 0xFFFF),
+                "hi" => Ok(v >> 16),
+                "hia" => Ok((v.wrapping_add(0x8000)) >> 16),
+                other => Err(format!("unknown function `{other}`")),
+            };
+        }
+        self.symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("undefined symbol `{name}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode;
+
+    fn asm(src: &str) -> Image {
+        assemble(src).expect("assembles")
+    }
+
+    fn decode_all(img: &Image) -> Vec<Instr> {
+        let sec = &img.sections()[0];
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off < sec.bytes.len() {
+            let (i, len) = decode(&sec.bytes[off..], Addr(sec.base.0 + off as u32)).unwrap();
+            out.push(i);
+            off += len as usize;
+        }
+        out
+    }
+
+    #[test]
+    fn simple_program_layout() {
+        let img = asm("
+            .org 0x80000000
+        _start:
+            movi d0, 100
+            nop
+            halt
+        ");
+        assert_eq!(img.entry(), Addr(0x8000_0000));
+        let instrs = decode_all(&img);
+        assert_eq!(
+            instrs,
+            vec![
+                Instr::MovI {
+                    rd: DReg(0),
+                    imm: 100
+                },
+                Instr::Nop,
+                Instr::Halt
+            ]
+        );
+        // movi(4) + nop(2) + halt(4)
+        assert_eq!(img.sections()[0].bytes.len(), 10);
+    }
+
+    #[test]
+    fn compressed_forms_are_selected() {
+        let img = asm("
+            .org 0x1000
+            mov d1, d2
+            add d1, d1, d3
+            add d1, d2, d3
+            addi d1, d1, 5
+            addi d1, d1, 100
+            ld.w d1, [a2]
+            ld.w d1, [a2+4]
+            ret
+        ");
+        let b = &img.sections()[0].bytes;
+        // 2 + 2 + 4 + 2 + 4 + 2 + 4 + 2 = 22
+        assert_eq!(b.len(), 22);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let img = asm("
+            .org 0x2000
+        start:
+            movi d0, 10
+        loop_head:
+            addi d0, d0, -1
+            jnz d0, loop_head
+            j   done
+            nop
+        done:
+            halt
+        ");
+        let instrs = decode_all(&img);
+        // movi(4) at 0x2000, addi16(2) at 0x2004, jnz(4) at 0x2006.
+        // jnz target = loop_head (0x2004): off = (0x2004-0x2006)/2 = -1.
+        assert!(instrs.contains(&Instr::Jnz {
+            ra: DReg(0),
+            off: -1
+        }));
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let img = asm("
+            .equ BASE, 0xD0000000
+            .equ COUNT, 16
+            .org 0x1000
+            movu d0, COUNT + 1
+            movu d1, lo(BASE + 4)
+            movu d2, hi(BASE - 0x10000)
+        ");
+        let instrs = decode_all(&img);
+        assert_eq!(
+            instrs[0],
+            Instr::MovU {
+                rd: DReg(0),
+                imm: 17
+            }
+        );
+        assert_eq!(
+            instrs[1],
+            Instr::MovU {
+                rd: DReg(1),
+                imm: 4
+            }
+        );
+        assert_eq!(
+            instrs[2],
+            Instr::MovU {
+                rd: DReg(2),
+                imm: 0xCFFF
+            }
+        );
+    }
+
+    #[test]
+    fn li_and_la_pseudos() {
+        use crate::arch::ArchState;
+        use crate::exec::execute;
+        use crate::mem::FlatMem;
+        for value in [
+            0u32,
+            1,
+            0xFFFF_FFFF,
+            0x8000_0000,
+            0x1234_5678,
+            0x0000_8000,
+            0xFFFF_8000,
+        ] {
+            let img = asm(&format!(
+                ".org 0x1000\n li d0, {value}\n la a0, {value}\n halt\n"
+            ));
+            let mut mem = FlatMem::new();
+            mem.add_region(Addr(0x1000), 0x100);
+            img.load_into(&mut mem).unwrap();
+            let mut st = ArchState::new(0x1000);
+            // Execute the four expanded instructions.
+            for _ in 0..4 {
+                let pc = st.pc;
+                let bytes = mem.read_bytes(Addr(pc), 4).unwrap();
+                let (i, len) = decode(&bytes, Addr(pc)).unwrap();
+                execute(&mut st, &mut mem, &i, pc, len).unwrap();
+            }
+            assert_eq!(st.d[0], value, "li {value:#x}");
+            assert_eq!(st.a[0], value, "la {value:#x}");
+        }
+    }
+
+    #[test]
+    fn data_directives() {
+        let img = asm("
+            .org 0x4000
+            .word 0x11223344, sym
+            .half 0xAABB
+            .byte 1, 2
+            .align 4
+            .space 8
+        sym:
+            halt
+        ");
+        let b = &img.sections()[0].bytes;
+        assert_eq!(&b[0..4], &0x1122_3344u32.to_le_bytes());
+        // sym = 0x4000 + 8 + 2 + 2 (+align pads 0) + 8 = 0x4014
+        assert_eq!(img.symbol("sym"), Some(Addr(0x4014)));
+        assert_eq!(&b[4..8], &0x4014u32.to_le_bytes());
+        assert_eq!(&b[8..10], &0xAABBu16.to_le_bytes());
+        assert_eq!(b[10], 1);
+        assert_eq!(b[11], 2);
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let img = asm("
+            .org 0x1000
+            ld.w d1, [a2]
+            ld.w d1, [a2+8]
+            ld.w d1, [a2-8]
+            ld.w d1, [a2+]4
+            st.w d1, [sp-4]
+            ld.hu d2, [a3+2]
+            ld.b d3, [a3+1]
+            st.b d3, [a3]
+        ");
+        let instrs = decode_all(&img);
+        assert_eq!(
+            instrs[1],
+            Instr::Ld {
+                rd: DReg(1),
+                ab: AReg(2),
+                off: 8,
+                width: MemWidth::Word,
+                sign: false
+            }
+        );
+        assert_eq!(
+            instrs[2],
+            Instr::Ld {
+                rd: DReg(1),
+                ab: AReg(2),
+                off: -8,
+                width: MemWidth::Word,
+                sign: false
+            }
+        );
+        assert_eq!(
+            instrs[3],
+            Instr::LdWPostInc {
+                rd: DReg(1),
+                ab: AReg(2),
+                inc: 4
+            }
+        );
+        assert_eq!(
+            instrs[4],
+            Instr::St {
+                rs: DReg(1),
+                ab: AReg::SP,
+                off: -4,
+                width: MemWidth::Word
+            }
+        );
+    }
+
+    #[test]
+    fn csfr_names() {
+        let img = asm("
+            .org 0x1000
+            mfcr d0, icr
+            mtcr biv, d1
+            mfcr d2, 9
+        ");
+        let instrs = decode_all(&img);
+        assert_eq!(
+            instrs[0],
+            Instr::Mfcr {
+                rd: DReg(0),
+                csfr: 2
+            }
+        );
+        assert_eq!(
+            instrs[1],
+            Instr::Mtcr {
+                csfr: 3,
+                rs: DReg(1)
+            }
+        );
+        assert_eq!(
+            instrs[2],
+            Instr::Mfcr {
+                rd: DReg(2),
+                csfr: 9
+            }
+        );
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble("movi d0, 1").unwrap_err();
+        assert!(e.to_string().contains("before .org"), "{e}");
+        let e = assemble(".org 0\nbogus d0").unwrap_err();
+        assert!(e.to_string().contains("unknown mnemonic"), "{e}");
+        let e = assemble(".org 0\nmovi d0, undef_sym").unwrap_err();
+        assert!(e.to_string().contains("undefined symbol"), "{e}");
+        let e = assemble(".org 0\nx: nop\nx: nop").unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
+        let e = assemble(".org 0\naddi d0, d1, 5000").unwrap_err();
+        assert!(e.to_string().contains("12-bit"), "{e}");
+    }
+
+    #[test]
+    fn branch_range_checks() {
+        let mut src = String::from(".org 0x1000\nstart: nop\n");
+        // Pad far beyond the 12-bit (±4 KiB) branch range.
+        src.push_str(".space 5000\n");
+        src.push_str("jz d0, start\n");
+        let e = assemble(&src).unwrap_err();
+        assert!(e.to_string().contains("12-bit range"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let img = asm("
+            ; full-line comment
+            .org 0x1000     ; trailing comment
+            nop             # hash comment
+            halt
+        ");
+        assert_eq!(decode_all(&img), vec![Instr::Nop, Instr::Halt]);
+    }
+
+    #[test]
+    fn symbolic_zero_offset_keeps_reserved_width() {
+        // `foo` evaluates to 0, but the load was *syntactically* offset-form,
+        // so it must stay 4 bytes (pass-1 reserved 4).
+        let img = asm("
+            .equ foo, 0
+            .org 0x1000
+            ld.w d1, [a2+foo]
+            halt
+        ");
+        let b = &img.sections()[0].bytes;
+        assert_eq!(b.len(), 8); // 4 + 4
+        let instrs = decode_all(&img);
+        assert_eq!(
+            instrs[0],
+            Instr::Ld {
+                rd: DReg(1),
+                ab: AReg(2),
+                off: 0,
+                width: MemWidth::Word,
+                sign: false
+            }
+        );
+    }
+
+    #[test]
+    fn multiple_sections() {
+        let img = asm("
+            .org 0x1000
+            nop
+            .org 0x2000
+            halt
+        ");
+        assert_eq!(img.sections().len(), 2);
+        assert_eq!(img.sections()[0].base, Addr(0x1000));
+        assert_eq!(img.sections()[1].base, Addr(0x2000));
+    }
+}

@@ -1,0 +1,100 @@
+//! `audo-asm` — assembler / disassembler for TC-R programs.
+//!
+//! ```text
+//! audo-asm <program.asm>            # assemble; print section + symbol summary
+//! audo-asm <program.asm> --list     # also print a disassembly listing
+//! audo-asm <program.asm> --hex      # dump sections as hex words
+//! ```
+
+use std::process::ExitCode;
+
+use audo_tricore::asm::assemble;
+use audo_tricore::disasm::disassemble_range;
+
+fn main() -> ExitCode {
+    let mut path = String::new();
+    let mut list = false;
+    let mut hex = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--list" => list = true,
+            "--hex" => hex = true,
+            "--help" | "-h" => {
+                eprintln!("usage: audo-asm <program.asm> [--list] [--hex]");
+                return ExitCode::FAILURE;
+            }
+            other if path.is_empty() && !other.starts_with('-') => path = other.to_string(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if path.is_empty() {
+        eprintln!("usage: audo-asm <program.asm> [--list] [--hex]");
+        return ExitCode::FAILURE;
+    }
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let image = match assemble(&src) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{path}: {} bytes in {} section(s), entry {}",
+        image.size(),
+        image.sections().len(),
+        image.entry()
+    );
+    for s in image.sections() {
+        println!(
+            "  section {} .. {} ({} bytes)",
+            s.base,
+            s.base.offset(s.bytes.len() as u32),
+            s.bytes.len()
+        );
+    }
+    println!("symbols:");
+    for (addr, name) in image.symbols_by_addr() {
+        println!("  {addr}  {name}");
+    }
+    if hex {
+        for s in image.sections() {
+            println!("section {}:", s.base);
+            for (i, chunk) in s.bytes.chunks(16).enumerate() {
+                let words: Vec<String> = chunk
+                    .chunks(4)
+                    .map(|w| {
+                        let mut v = [0u8; 4];
+                        v[..w.len()].copy_from_slice(w);
+                        format!("{:08x}", u32::from_le_bytes(v))
+                    })
+                    .collect();
+                println!("  {}  {}", s.base.offset(i as u32 * 16), words.join(" "));
+            }
+        }
+    }
+    if list {
+        for s in image.sections() {
+            println!("listing of section {}:", s.base);
+            for line in disassemble_range(&image, s.base, s.bytes.len() as u32) {
+                let sym = image
+                    .symbols_by_addr()
+                    .iter()
+                    .find(|(a, _)| *a == line.addr)
+                    .map(|(_, n)| format!("{n}:"))
+                    .unwrap_or_default();
+                println!("  {}  {:<16} {}", line.addr, sym, line.text);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,244 @@
+//! Disassembler: formats decoded instructions back into assembler syntax.
+//!
+//! Used by trace viewers and the host-side program-flow reconstruction to
+//! present readable listings; `disassemble` round-trips with the assembler
+//! dialect of [`crate::asm`].
+
+use audo_common::Addr;
+
+use crate::image::Image;
+use crate::isa::{BranchCond, Instr, MemWidth};
+
+/// Formats one instruction at `pc` (needed to print absolute branch targets).
+#[must_use]
+pub fn format_instr(instr: &Instr, pc: Addr) -> String {
+    use Instr::*;
+    let bt = |off: i32| -> String { format!("{:#x}", pc.0.wrapping_add((off as u32) << 1)) };
+    match *instr {
+        Nop => "nop".to_string(),
+        Halt => "halt".to_string(),
+        Wait => "wait".to_string(),
+        Ret => "ret".to_string(),
+        Rfe => "rfe".to_string(),
+        Enable => "enable".to_string(),
+        Disable => "disable".to_string(),
+        Debug { code } => format!("debug {code}"),
+        Syscall { num } => format!("syscall {num}"),
+        MovD { rd, rs } => format!("mov {rd}, {rs}"),
+        MovAA { ad, a_src } => format!("mov.aa {ad}, {a_src}"),
+        MovDtoA { ad, rs } => format!("mov.a {ad}, {rs}"),
+        MovAtoD { rd, a_src } => format!("mov.d {rd}, {a_src}"),
+        MovI { rd, imm } => format!("movi {rd}, {imm}"),
+        MovH { rd, imm } => format!("movh {rd}, {imm:#x}"),
+        MovU { rd, imm } => format!("movu {rd}, {imm:#x}"),
+        MovHA { ad, imm } => format!("movh.a {ad}, {imm:#x}"),
+        AddIA { ad, imm } => format!("addia {ad}, {imm}"),
+        OrIL { rd, imm } => format!("oril {rd}, {imm:#x}"),
+        Lea { ad, ab, off } => format!("lea {ad}, {ab}, {off}"),
+        Add { rd, ra, rb } => format!("add {rd}, {ra}, {rb}"),
+        Sub { rd, ra, rb } => format!("sub {rd}, {ra}, {rb}"),
+        And { rd, ra, rb } => format!("and {rd}, {ra}, {rb}"),
+        Or { rd, ra, rb } => format!("or {rd}, {ra}, {rb}"),
+        Xor { rd, ra, rb } => format!("xor {rd}, {ra}, {rb}"),
+        Min { rd, ra, rb } => format!("min {rd}, {ra}, {rb}"),
+        Max { rd, ra, rb } => format!("max {rd}, {ra}, {rb}"),
+        Mul { rd, ra, rb } => format!("mul {rd}, {ra}, {rb}"),
+        Mac { rd, ra, rb } => format!("mac {rd}, {ra}, {rb}"),
+        Div { rd, ra, rb } => format!("div {rd}, {ra}, {rb}"),
+        Rem { rd, ra, rb } => format!("rem {rd}, {ra}, {rb}"),
+        Sh { rd, ra, rb } => format!("sh {rd}, {ra}, {rb}"),
+        Sha { rd, ra, rb } => format!("sha {rd}, {ra}, {rb}"),
+        ShI { rd, ra, amount } => format!("shi {rd}, {ra}, {amount}"),
+        AddI { rd, ra, imm } => format!("addi {rd}, {ra}, {imm}"),
+        AndI { rd, ra, imm } => format!("andi {rd}, {ra}, {imm:#x}"),
+        OrI { rd, ra, imm } => format!("ori {rd}, {ra}, {imm:#x}"),
+        XorI { rd, ra, imm } => format!("xori {rd}, {ra}, {imm:#x}"),
+        Clz { rd, ra } => format!("clz {rd}, {ra}"),
+        SextB { rd, ra } => format!("sext.b {rd}, {ra}"),
+        SextH { rd, ra } => format!("sext.h {rd}, {ra}"),
+        ZextB { rd, ra } => format!("zext.b {rd}, {ra}"),
+        ZextH { rd, ra } => format!("zext.h {rd}, {ra}"),
+        Extr { rd, ra, pos, width } => format!("extr {rd}, {ra}, {pos}, {width}"),
+        Insert { rd, rs, pos, width } => format!("insert {rd}, {rs}, {pos}, {width}"),
+        Lt { rd, ra, rb } => format!("lt {rd}, {ra}, {rb}"),
+        LtU { rd, ra, rb } => format!("ltu {rd}, {ra}, {rb}"),
+        EqR { rd, ra, rb } => format!("eq {rd}, {ra}, {rb}"),
+        NeR { rd, ra, rb } => format!("ne {rd}, {ra}, {rb}"),
+        Sel { rd, cond, rs } => format!("sel {rd}, {cond}, {rs}"),
+        Ld {
+            rd,
+            ab,
+            off,
+            width,
+            sign,
+        } => {
+            let suffix = match (width, sign) {
+                (MemWidth::Word, _) => "w",
+                (MemWidth::Half, true) => "h",
+                (MemWidth::Half, false) => "hu",
+                (MemWidth::Byte, true) => "b",
+                (MemWidth::Byte, false) => "bu",
+            };
+            format!("ld.{suffix} {rd}, [{ab}{}]", fmt_off(off))
+        }
+        St { rs, ab, off, width } => {
+            let suffix = match width {
+                MemWidth::Word => "w",
+                MemWidth::Half => "h",
+                MemWidth::Byte => "b",
+            };
+            format!("st.{suffix} {rs}, [{ab}{}]", fmt_off(off))
+        }
+        LdWPostInc { rd, ab, inc } => format!("ld.w {rd}, [{ab}+]{inc}"),
+        StWPostInc { rs, ab, inc } => format!("st.w {rs}, [{ab}+]{inc}"),
+        LdA { ad, ab, off } => format!("ld.a {ad}, [{ab}{}]", fmt_off(off)),
+        StA { a_src, ab, off } => format!("st.a {a_src}, [{ab}{}]", fmt_off(off)),
+        J { off } => format!("j {}", bt(off)),
+        Jl { off } => format!("jl {}", bt(off)),
+        Call { off } => format!("call {}", bt(off)),
+        Ji { aa } => format!("ji {aa}"),
+        CallI { aa } => format!("calli {aa}"),
+        JCond { cond, ra, rb, off } => {
+            let m = match cond {
+                BranchCond::Eq => "jeq",
+                BranchCond::Ne => "jne",
+                BranchCond::Lt => "jlt",
+                BranchCond::Ge => "jge",
+                BranchCond::LtU => "jltu",
+                BranchCond::GeU => "jgeu",
+            };
+            format!("{m} {ra}, {rb}, {}", bt(i32::from(off)))
+        }
+        Jz { ra, off } => format!("jz {ra}, {}", bt(i32::from(off))),
+        Jnz { ra, off } => format!("jnz {ra}, {}", bt(i32::from(off))),
+        Loop { aa, off } => format!("loop {aa}, {}", bt(i32::from(off))),
+        Mfcr { rd, csfr } => format!("mfcr {rd}, {csfr}"),
+        Mtcr { csfr, rs } => format!("mtcr {csfr}, {rs}"),
+    }
+}
+
+fn fmt_off(off: i16) -> String {
+    if off == 0 {
+        String::new()
+    } else if off > 0 {
+        format!("+{off}")
+    } else {
+        format!("{off}")
+    }
+}
+
+/// One line of a disassembly listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListingLine {
+    /// Instruction address.
+    pub addr: Addr,
+    /// Decoded instruction (`None` for undecodable bytes).
+    pub instr: Option<Instr>,
+    /// Formatted text.
+    pub text: String,
+}
+
+/// Disassembles `len` bytes of an image starting at `start`.
+///
+/// Undecodable words are listed as `.word`/`.half` data and skipped, so a
+/// listing can run through embedded data tables without stopping.
+#[must_use]
+pub fn disassemble_range(image: &Image, start: Addr, len: u32) -> Vec<ListingLine> {
+    let mut out = Vec::new();
+    let mut pc = start;
+    let end = start.0.saturating_add(len);
+    while pc.0 < end {
+        let Some(bytes) = image.bytes_at(pc, 4).or_else(|| image.bytes_at(pc, 2)) else {
+            break;
+        };
+        match crate::encode::decode(&bytes, pc) {
+            Ok((instr, ilen)) => {
+                out.push(ListingLine {
+                    addr: pc,
+                    instr: Some(instr),
+                    text: format_instr(&instr, pc),
+                });
+                pc = pc.offset(u32::from(ilen));
+            }
+            Err(_) => {
+                let text = if bytes.len() >= 4 {
+                    format!(
+                        ".word {:#010x}",
+                        u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+                    )
+                } else {
+                    format!(".half {:#06x}", u16::from_le_bytes([bytes[0], bytes[1]]))
+                };
+                out.push(ListingLine {
+                    addr: pc,
+                    instr: None,
+                    text,
+                });
+                pc = pc.offset(if bytes.len() >= 4 { 4 } else { 2 });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn formats_match_assembler_dialect() {
+        let src = "
+            .org 0x1000
+            movi d0, -5
+            add d1, d2, d3
+            ld.w d1, [a2+8]
+            st.b d3, [a4-1]
+            jz d0, 0x1000
+            loop a3, 0x1000
+            call 0x1000
+        ";
+        let img = assemble(src).unwrap();
+        let listing = disassemble_range(&img, Addr(0x1000), img.size() as u32);
+        let texts: Vec<&str> = listing.iter().map(|l| l.text.as_str()).collect();
+        assert_eq!(texts[0], "movi d0, -5");
+        assert_eq!(texts[1], "add d1, d2, d3");
+        assert_eq!(texts[2], "ld.w d1, [a2+8]");
+        assert_eq!(texts[3], "st.b d3, [a4-1]");
+        assert!(texts[4].starts_with("jz d0, 0x1000"));
+        assert!(texts[5].starts_with("loop a3, 0x1000"));
+        assert!(texts[6].starts_with("call 0x1000"));
+    }
+
+    #[test]
+    fn reassembling_disassembly_is_stable() {
+        // Disassemble a program, reassemble the text, and compare bytes.
+        let src = "
+            .org 0x1000
+            movh d1, 0x8000
+            oril d1, 0x1234
+            addi d2, d1, -7
+            sel d0, d1, d2
+            extr d3, d1, 4, 8
+            halt
+        ";
+        let img1 = assemble(src).unwrap();
+        let listing = disassemble_range(&img1, Addr(0x1000), img1.size() as u32);
+        let mut src2 = String::from(".org 0x1000\n");
+        for l in &listing {
+            src2.push_str(&l.text);
+            src2.push('\n');
+        }
+        let img2 = assemble(&src2).unwrap();
+        assert_eq!(img1.sections()[0].bytes, img2.sections()[0].bytes);
+    }
+
+    #[test]
+    fn data_words_are_listed_not_fatal() {
+        let img = assemble(".org 0x1000\n .word 0xFFFFFFFF\n nop\n").unwrap();
+        let listing = disassemble_range(&img, Addr(0x1000), 6);
+        assert!(listing[0].instr.is_none());
+        assert!(listing[0].text.starts_with(".word"));
+        assert_eq!(listing[1].text, "nop");
+    }
+}

@@ -1,0 +1,897 @@
+//! Architectural execution semantics of TC-R instructions.
+//!
+//! [`execute`] is the single definition of what every instruction *does*.
+//! Both the cycle-accurate pipeline (`crate::pipeline`) and the functional
+//! golden-model ISS (`crate::iss`) call it, so they agree on architectural
+//! state by construction; integration tests then verify the pipeline's
+//! bookkeeping never diverges.
+
+use audo_common::events::FlowKind;
+use audo_common::{Addr, SimError};
+
+use crate::arch::{restore_upper_context, save_upper_context, ArchMem, ArchState};
+use crate::isa::{BranchCond, Instr, MemWidth};
+
+/// A control-flow redirect produced by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Classification for the trace unit.
+    pub kind: FlowKind,
+    /// The address execution continues at.
+    pub target: Addr,
+}
+
+/// What one instruction did, beyond updating [`ArchState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Outcome {
+    /// Address of the next instruction to execute.
+    pub next_pc: u32,
+    /// Set when the instruction redirected control flow.
+    pub flow: Option<Flow>,
+    /// `Some(taken)` when the instruction was a conditional branch.
+    pub branch_taken: Option<bool>,
+    /// Debug marker code from a `DEBUG` instruction.
+    pub debug: Option<u8>,
+    /// The core entered the idle (`WAIT`) state.
+    pub wait: bool,
+    /// The simulation should stop (`HALT`).
+    pub halt: bool,
+}
+
+/// Describes a data-memory access an instruction will perform, for the
+/// pipeline's hazard logic. Produced by [`mem_access_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccessPlan {
+    /// Effective address.
+    pub addr: Addr,
+    /// Width in bytes.
+    pub size: u8,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+fn branch_target(pc: u32, off: i32) -> u32 {
+    pc.wrapping_add((off as u32).wrapping_mul(2))
+}
+
+/// Computes the data access (if any) a load/store instruction at `pc` would
+/// perform in state `st`, without executing it.
+#[must_use]
+pub fn mem_access_of(st: &ArchState, instr: &Instr) -> Option<MemAccessPlan> {
+    use Instr::*;
+    Some(match *instr {
+        Ld { ab, off, width, .. } => MemAccessPlan {
+            addr: Addr(st.a[ab.0 as usize].wrapping_add(off as i32 as u32)),
+            size: width.bytes(),
+            is_store: false,
+        },
+        St { ab, off, width, .. } => MemAccessPlan {
+            addr: Addr(st.a[ab.0 as usize].wrapping_add(off as i32 as u32)),
+            size: width.bytes(),
+            is_store: true,
+        },
+        LdWPostInc { ab, .. } => MemAccessPlan {
+            addr: Addr(st.a[ab.0 as usize]),
+            size: 4,
+            is_store: false,
+        },
+        StWPostInc { ab, .. } => MemAccessPlan {
+            addr: Addr(st.a[ab.0 as usize]),
+            size: 4,
+            is_store: true,
+        },
+        LdA { ab, off, .. } => MemAccessPlan {
+            addr: Addr(st.a[ab.0 as usize].wrapping_add(off as i32 as u32)),
+            size: 4,
+            is_store: false,
+        },
+        StA { ab, off, .. } => MemAccessPlan {
+            addr: Addr(st.a[ab.0 as usize].wrapping_add(off as i32 as u32)),
+            size: 4,
+            is_store: true,
+        },
+        _ => return None,
+    })
+}
+
+fn dyn_shift(value: u32, amount: u32, arithmetic: bool) -> u32 {
+    // TriCore SH semantics: the low 6 bits of the amount are sign-extended;
+    // positive shifts left, negative shifts right.
+    let amt = ((amount as i32) << 26) >> 26;
+    shift_by(value, amt, arithmetic)
+}
+
+fn shift_by(value: u32, amt: i32, arithmetic: bool) -> u32 {
+    if amt >= 0 {
+        if amt >= 32 {
+            0
+        } else {
+            value << amt
+        }
+    } else {
+        let sh = -amt;
+        if arithmetic {
+            if sh >= 32 {
+                ((value as i32) >> 31) as u32
+            } else {
+                ((value as i32) >> sh) as u32
+            }
+        } else if sh >= 32 {
+            0
+        } else {
+            value >> sh
+        }
+    }
+}
+
+fn mask(width: u8) -> u32 {
+    if width >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    }
+}
+
+/// Executes one instruction, updating `st` and `mem`.
+///
+/// `pc` is the instruction's own address and `ilen` its encoded length;
+/// `st.pc` is **not** consulted (the pipeline executes ahead of its
+/// architectural PC) but *is* updated to `Outcome::next_pc`.
+///
+/// # Errors
+///
+/// Returns memory errors (unmapped/misaligned) and CSA list faults.
+/// On error, partial register updates may have occurred; callers treat any
+/// error as a fatal program fault and stop the simulation.
+pub fn execute<M: ArchMem>(
+    st: &mut ArchState,
+    mem: &mut M,
+    instr: &Instr,
+    pc: u32,
+    ilen: u8,
+) -> Result<Outcome, SimError> {
+    use Instr::*;
+    let fallthrough = pc.wrapping_add(u32::from(ilen));
+    let mut out = Outcome {
+        next_pc: fallthrough,
+        ..Outcome::default()
+    };
+
+    macro_rules! d {
+        ($r:expr) => {
+            st.d[$r.0 as usize]
+        };
+    }
+    macro_rules! a {
+        ($r:expr) => {
+            st.a[$r.0 as usize]
+        };
+    }
+    macro_rules! take_branch {
+        ($kind:expr, $target:expr) => {{
+            out.next_pc = $target;
+            out.flow = Some(Flow {
+                kind: $kind,
+                target: Addr($target),
+            });
+        }};
+    }
+    macro_rules! cond_branch {
+        ($taken:expr, $off:expr) => {{
+            let taken = $taken;
+            out.branch_taken = Some(taken);
+            if taken {
+                take_branch!(FlowKind::BranchTaken, branch_target(pc, i32::from($off)));
+            }
+        }};
+    }
+
+    match *instr {
+        Nop => {}
+        MovD { rd, rs } => d!(rd) = d!(rs),
+        MovAA { ad, a_src } => a!(ad) = a!(a_src),
+        MovDtoA { ad, rs } => a!(ad) = d!(rs),
+        MovAtoD { rd, a_src } => d!(rd) = a!(a_src),
+        MovI { rd, imm } => d!(rd) = imm as i32 as u32,
+        MovH { rd, imm } => d!(rd) = u32::from(imm) << 16,
+        MovU { rd, imm } => d!(rd) = u32::from(imm),
+        MovHA { ad, imm } => a!(ad) = u32::from(imm) << 16,
+        AddIA { ad, imm } => a!(ad) = a!(ad).wrapping_add(imm as i32 as u32),
+        OrIL { rd, imm } => d!(rd) |= u32::from(imm),
+        Lea { ad, ab, off } => a!(ad) = a!(ab).wrapping_add(off as i32 as u32),
+
+        Add { rd, ra, rb } => d!(rd) = d!(ra).wrapping_add(d!(rb)),
+        Sub { rd, ra, rb } => d!(rd) = d!(ra).wrapping_sub(d!(rb)),
+        And { rd, ra, rb } => d!(rd) = d!(ra) & d!(rb),
+        Or { rd, ra, rb } => d!(rd) = d!(ra) | d!(rb),
+        Xor { rd, ra, rb } => d!(rd) = d!(ra) ^ d!(rb),
+        Min { rd, ra, rb } => d!(rd) = (d!(ra) as i32).min(d!(rb) as i32) as u32,
+        Max { rd, ra, rb } => d!(rd) = (d!(ra) as i32).max(d!(rb) as i32) as u32,
+        Mul { rd, ra, rb } => d!(rd) = d!(ra).wrapping_mul(d!(rb)),
+        Mac { rd, ra, rb } => d!(rd) = d!(rd).wrapping_add(d!(ra).wrapping_mul(d!(rb))),
+        Div { rd, ra, rb } => {
+            let (x, y) = (d!(ra) as i32, d!(rb) as i32);
+            d!(rd) = if y == 0 { 0 } else { x.wrapping_div(y) as u32 };
+        }
+        Rem { rd, ra, rb } => {
+            let (x, y) = (d!(ra) as i32, d!(rb) as i32);
+            d!(rd) = if y == 0 {
+                x as u32
+            } else {
+                x.wrapping_rem(y) as u32
+            };
+        }
+        Sh { rd, ra, rb } => d!(rd) = dyn_shift(d!(ra), d!(rb), false),
+        Sha { rd, ra, rb } => d!(rd) = dyn_shift(d!(ra), d!(rb), true),
+        ShI { rd, ra, amount } => d!(rd) = shift_by(d!(ra), i32::from(amount), false),
+        AddI { rd, ra, imm } => d!(rd) = d!(ra).wrapping_add(imm as i32 as u32),
+        AndI { rd, ra, imm } => d!(rd) = d!(ra) & u32::from(imm),
+        OrI { rd, ra, imm } => d!(rd) = d!(ra) | u32::from(imm),
+        XorI { rd, ra, imm } => d!(rd) = d!(ra) ^ u32::from(imm),
+        Clz { rd, ra } => d!(rd) = d!(ra).leading_zeros(),
+        SextB { rd, ra } => d!(rd) = d!(ra) as u8 as i8 as i32 as u32,
+        SextH { rd, ra } => d!(rd) = d!(ra) as u16 as i16 as i32 as u32,
+        ZextB { rd, ra } => d!(rd) = d!(ra) & 0xFF,
+        ZextH { rd, ra } => d!(rd) = d!(ra) & 0xFFFF,
+        Extr { rd, ra, pos, width } => d!(rd) = (d!(ra) >> pos) & mask(width),
+        Insert { rd, rs, pos, width } => {
+            let m = mask(width) << pos;
+            d!(rd) = (d!(rd) & !m) | ((d!(rs) << pos) & m);
+        }
+        Lt { rd, ra, rb } => d!(rd) = u32::from((d!(ra) as i32) < (d!(rb) as i32)),
+        LtU { rd, ra, rb } => d!(rd) = u32::from(d!(ra) < d!(rb)),
+        EqR { rd, ra, rb } => d!(rd) = u32::from(d!(ra) == d!(rb)),
+        NeR { rd, ra, rb } => d!(rd) = u32::from(d!(ra) != d!(rb)),
+        Sel { rd, cond, rs } => {
+            if d!(cond) != 0 {
+                d!(rd) = d!(rs);
+            }
+        }
+
+        Ld {
+            rd,
+            ab,
+            off,
+            width,
+            sign,
+        } => {
+            let addr = Addr(a!(ab).wrapping_add(off as i32 as u32));
+            let raw = mem.read(addr, width.bytes())?;
+            d!(rd) = extend(raw, width, sign);
+        }
+        St { rs, ab, off, width } => {
+            let addr = Addr(a!(ab).wrapping_add(off as i32 as u32));
+            mem.write(addr, width.bytes(), d!(rs))?;
+        }
+        LdWPostInc { rd, ab, inc } => {
+            let addr = Addr(a!(ab));
+            let raw = mem.read(addr, 4)?;
+            d!(rd) = raw;
+            a!(ab) = a!(ab).wrapping_add(inc as i32 as u32);
+        }
+        StWPostInc { rs, ab, inc } => {
+            let addr = Addr(a!(ab));
+            mem.write(addr, 4, d!(rs))?;
+            a!(ab) = a!(ab).wrapping_add(inc as i32 as u32);
+        }
+        LdA { ad, ab, off } => {
+            let addr = Addr(a!(ab).wrapping_add(off as i32 as u32));
+            a!(ad) = mem.read(addr, 4)?;
+        }
+        StA { a_src, ab, off } => {
+            let addr = Addr(a!(ab).wrapping_add(off as i32 as u32));
+            mem.write(addr, 4, a!(a_src))?;
+        }
+
+        J { off } => take_branch!(FlowKind::BranchTaken, branch_target(pc, off)),
+        Jl { off } => {
+            a!(crate::isa::AReg::RA) = fallthrough;
+            take_branch!(FlowKind::Call, branch_target(pc, off));
+        }
+        Call { off } => {
+            save_upper_context(st, mem)?;
+            a!(crate::isa::AReg::RA) = fallthrough;
+            take_branch!(FlowKind::Call, branch_target(pc, off));
+        }
+        Ji { aa } => take_branch!(FlowKind::Indirect, a!(aa)),
+        CallI { aa } => {
+            let target = a!(aa);
+            save_upper_context(st, mem)?;
+            a!(crate::isa::AReg::RA) = fallthrough;
+            take_branch!(FlowKind::Indirect, target);
+        }
+        Ret => {
+            let target = a!(crate::isa::AReg::RA);
+            restore_upper_context(st, mem, false)?;
+            take_branch!(FlowKind::Return, target);
+        }
+        JCond { cond, ra, rb, off } => {
+            let (x, y) = (d!(ra), d!(rb));
+            let taken = match cond {
+                BranchCond::Eq => x == y,
+                BranchCond::Ne => x != y,
+                BranchCond::Lt => (x as i32) < (y as i32),
+                BranchCond::Ge => (x as i32) >= (y as i32),
+                BranchCond::LtU => x < y,
+                BranchCond::GeU => x >= y,
+            };
+            cond_branch!(taken, off);
+        }
+        Jz { ra, off } => cond_branch!(d!(ra) == 0, off),
+        Jnz { ra, off } => cond_branch!(d!(ra) != 0, off),
+        Loop { aa, off } => {
+            a!(aa) = a!(aa).wrapping_sub(1);
+            cond_branch!(a!(aa) != 0, off);
+        }
+
+        Rfe => {
+            let target = a!(crate::isa::AReg::RA);
+            restore_upper_context(st, mem, true)?;
+            take_branch!(FlowKind::ExceptionReturn, target);
+        }
+        Syscall { num } => {
+            save_upper_context(st, mem)?;
+            a!(crate::isa::AReg::RA) = fallthrough;
+            st.d[15] = u32::from(num);
+            st.icr_ie = false;
+            take_branch!(FlowKind::Exception, st.btv);
+        }
+        Enable => st.icr_ie = true,
+        Disable => st.icr_ie = false,
+        Mfcr { rd, csfr } => d!(rd) = st.read_csfr(csfr),
+        Mtcr { csfr, rs } => {
+            let v = d!(rs);
+            st.write_csfr(csfr, v);
+        }
+        Debug { code } => out.debug = Some(code),
+        Wait => out.wait = true,
+        Halt => out.halt = true,
+    }
+
+    st.pc = out.next_pc;
+    Ok(out)
+}
+
+/// Performs asynchronous interrupt entry at priority `prio`.
+///
+/// Spills the upper context, records the resume address in `A11`, raises the
+/// current CPU priority to `prio`, clears `ICR.IE` (as TriCore does — the
+/// handler re-enables for nesting), and redirects to the vector
+/// `BIV + 32 * prio`.
+///
+/// # Errors
+///
+/// Returns CSA/memory faults from the context spill.
+pub fn enter_interrupt<M: ArchMem>(
+    st: &mut ArchState,
+    mem: &mut M,
+    prio: u8,
+) -> Result<Flow, SimError> {
+    save_upper_context(st, mem)?;
+    st.a[11] = st.pc;
+    st.icr_ccpn = prio;
+    st.icr_ie = false;
+    let target = st.biv.wrapping_add(u32::from(prio) * 32);
+    st.pc = target;
+    Ok(Flow {
+        kind: FlowKind::Exception,
+        target: Addr(target),
+    })
+}
+
+fn extend(raw: u32, width: MemWidth, sign: bool) -> u32 {
+    match (width, sign) {
+        (MemWidth::Word, _) => raw,
+        (MemWidth::Half, true) => raw as u16 as i16 as i32 as u32,
+        (MemWidth::Half, false) => raw & 0xFFFF,
+        (MemWidth::Byte, true) => raw as u8 as i8 as i32 as u32,
+        (MemWidth::Byte, false) => raw & 0xFF,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::init_csa_list;
+    use crate::isa::{AReg, DReg};
+    use crate::mem::FlatMem;
+
+    fn setup() -> (ArchState, FlatMem) {
+        let mut mem = FlatMem::new();
+        mem.add_region(Addr(0xD000_0000), 64 * 1024);
+        let mut st = ArchState::new(0x8000_0000);
+        st.fcx = init_csa_list(&mut mem, Addr(0xD000_8000), 16).unwrap();
+        (st, mem)
+    }
+
+    fn run(st: &mut ArchState, mem: &mut FlatMem, i: Instr) -> Outcome {
+        let pc = st.pc;
+        execute(st, mem, &i, pc, 4).unwrap()
+    }
+
+    #[test]
+    fn alu_basics() {
+        let (mut st, mut mem) = setup();
+        st.d[1] = 7;
+        st.d[2] = 5;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Add {
+                rd: DReg(0),
+                ra: DReg(1),
+                rb: DReg(2),
+            },
+        );
+        assert_eq!(st.d[0], 12);
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Sub {
+                rd: DReg(0),
+                ra: DReg(1),
+                rb: DReg(2),
+            },
+        );
+        assert_eq!(st.d[0], 2);
+        st.d[3] = u32::MAX;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::AddI {
+                rd: DReg(3),
+                ra: DReg(3),
+                imm: 1,
+            },
+        );
+        assert_eq!(st.d[3], 0, "add wraps");
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Min {
+                rd: DReg(4),
+                ra: DReg(1),
+                rb: DReg(2),
+            },
+        );
+        assert_eq!(st.d[4], 5);
+        st.d[5] = (-3i32) as u32;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Max {
+                rd: DReg(4),
+                ra: DReg(5),
+                rb: DReg(2),
+            },
+        );
+        assert_eq!(st.d[4], 5, "signed max");
+    }
+
+    #[test]
+    fn division_never_traps() {
+        let (mut st, mut mem) = setup();
+        st.d[1] = 10;
+        st.d[2] = 0;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Div {
+                rd: DReg(0),
+                ra: DReg(1),
+                rb: DReg(2),
+            },
+        );
+        assert_eq!(st.d[0], 0);
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Rem {
+                rd: DReg(0),
+                ra: DReg(1),
+                rb: DReg(2),
+            },
+        );
+        assert_eq!(st.d[0], 10);
+        st.d[1] = i32::MIN as u32;
+        st.d[2] = (-1i32) as u32;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Div {
+                rd: DReg(0),
+                ra: DReg(1),
+                rb: DReg(2),
+            },
+        );
+        assert_eq!(st.d[0], i32::MIN as u32, "overflow wraps");
+    }
+
+    #[test]
+    fn tricore_style_shifts() {
+        let (mut st, mut mem) = setup();
+        st.d[1] = 0x8000_0001;
+        st.d[2] = 4; // positive = left
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Sh {
+                rd: DReg(0),
+                ra: DReg(1),
+                rb: DReg(2),
+            },
+        );
+        assert_eq!(st.d[0], 0x10);
+        st.d[2] = (-4i32) as u32; // negative = right logical
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Sh {
+                rd: DReg(0),
+                ra: DReg(1),
+                rb: DReg(2),
+            },
+        );
+        assert_eq!(st.d[0], 0x0800_0000);
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Sha {
+                rd: DReg(0),
+                ra: DReg(1),
+                rb: DReg(2),
+            },
+        );
+        assert_eq!(st.d[0], 0xF800_0000, "arithmetic right fills sign");
+        run(
+            &mut st,
+            &mut mem,
+            Instr::ShI {
+                rd: DReg(0),
+                ra: DReg(1),
+                amount: -31,
+            },
+        );
+        assert_eq!(st.d[0], 1);
+    }
+
+    #[test]
+    fn bitfield_ops() {
+        let (mut st, mut mem) = setup();
+        st.d[1] = 0xABCD_1234;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Extr {
+                rd: DReg(0),
+                ra: DReg(1),
+                pos: 12,
+                width: 8,
+            },
+        );
+        assert_eq!(st.d[0], 0xD1);
+        st.d[0] = 0xFFFF_FFFF;
+        st.d[2] = 0b1010;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Insert {
+                rd: DReg(0),
+                rs: DReg(2),
+                pos: 4,
+                width: 4,
+            },
+        );
+        assert_eq!(st.d[0], 0xFFFF_FFAF);
+        st.d[3] = 0x0000_1000;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Clz {
+                rd: DReg(0),
+                ra: DReg(3),
+            },
+        );
+        assert_eq!(st.d[0], 19);
+    }
+
+    #[test]
+    fn loads_and_stores_extend_correctly() {
+        let (mut st, mut mem) = setup();
+        st.a[2] = 0xD000_0100;
+        st.d[1] = 0xFFFF_FF80;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::St {
+                rs: DReg(1),
+                ab: AReg(2),
+                off: 0,
+                width: MemWidth::Byte,
+            },
+        );
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Ld {
+                rd: DReg(3),
+                ab: AReg(2),
+                off: 0,
+                width: MemWidth::Byte,
+                sign: true,
+            },
+        );
+        assert_eq!(st.d[3], 0xFFFF_FF80);
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Ld {
+                rd: DReg(3),
+                ab: AReg(2),
+                off: 0,
+                width: MemWidth::Byte,
+                sign: false,
+            },
+        );
+        assert_eq!(st.d[3], 0x80);
+    }
+
+    #[test]
+    fn post_increment_addressing() {
+        let (mut st, mut mem) = setup();
+        st.a[4] = 0xD000_0200;
+        st.d[1] = 42;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::StWPostInc {
+                rs: DReg(1),
+                ab: AReg(4),
+                inc: 4,
+            },
+        );
+        assert_eq!(st.a[4], 0xD000_0204);
+        st.a[4] = 0xD000_0200;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::LdWPostInc {
+                rd: DReg(2),
+                ab: AReg(4),
+                inc: 8,
+            },
+        );
+        assert_eq!(st.d[2], 42);
+        assert_eq!(st.a[4], 0xD000_0208);
+    }
+
+    #[test]
+    fn branches_are_halfword_scaled() {
+        let (mut st, mut mem) = setup();
+        st.pc = 0x8000_0100;
+        let out = run(&mut st, &mut mem, Instr::J { off: 8 });
+        assert_eq!(out.next_pc, 0x8000_0110);
+        assert_eq!(st.pc, 0x8000_0110);
+        st.pc = 0x8000_0100;
+        let out = run(&mut st, &mut mem, Instr::J { off: -8 });
+        assert_eq!(out.next_pc, 0x8000_00F0);
+    }
+
+    #[test]
+    fn conditional_branch_outcomes() {
+        let (mut st, mut mem) = setup();
+        st.d[1] = 5;
+        st.d[2] = 5;
+        st.pc = 0x8000_0000;
+        let out = run(
+            &mut st,
+            &mut mem,
+            Instr::JCond {
+                cond: BranchCond::Eq,
+                ra: DReg(1),
+                rb: DReg(2),
+                off: 4,
+            },
+        );
+        assert_eq!(out.branch_taken, Some(true));
+        assert_eq!(st.pc, 0x8000_0008);
+        let out = run(
+            &mut st,
+            &mut mem,
+            Instr::JCond {
+                cond: BranchCond::Ne,
+                ra: DReg(1),
+                rb: DReg(2),
+                off: 4,
+            },
+        );
+        assert_eq!(out.branch_taken, Some(false));
+        assert_eq!(st.pc, 0x8000_000C, "fallthrough");
+        // Unsigned vs signed comparison.
+        st.d[1] = (-1i32) as u32;
+        st.d[2] = 1;
+        let out = run(
+            &mut st,
+            &mut mem,
+            Instr::JCond {
+                cond: BranchCond::Lt,
+                ra: DReg(1),
+                rb: DReg(2),
+                off: 4,
+            },
+        );
+        assert_eq!(out.branch_taken, Some(true), "-1 < 1 signed");
+        let out = run(
+            &mut st,
+            &mut mem,
+            Instr::JCond {
+                cond: BranchCond::LtU,
+                ra: DReg(1),
+                rb: DReg(2),
+                off: 4,
+            },
+        );
+        assert_eq!(out.branch_taken, Some(false), "0xFFFFFFFF not < 1 unsigned");
+    }
+
+    #[test]
+    fn loop_decrements_and_branches() {
+        let (mut st, mut mem) = setup();
+        st.a[3] = 3;
+        st.pc = 0x8000_0010;
+        let out = run(
+            &mut st,
+            &mut mem,
+            Instr::Loop {
+                aa: AReg(3),
+                off: -4,
+            },
+        );
+        assert_eq!(st.a[3], 2);
+        assert_eq!(out.branch_taken, Some(true));
+        assert_eq!(st.pc, 0x8000_0008);
+        st.a[3] = 1;
+        st.pc = 0x8000_0010;
+        let out = run(
+            &mut st,
+            &mut mem,
+            Instr::Loop {
+                aa: AReg(3),
+                off: -4,
+            },
+        );
+        assert_eq!(st.a[3], 0);
+        assert_eq!(
+            out.branch_taken,
+            Some(false),
+            "exits when counter reaches zero"
+        );
+    }
+
+    #[test]
+    fn call_ret_roundtrip_preserves_upper_context() {
+        let (mut st, mut mem) = setup();
+        st.pc = 0x8000_0000;
+        st.d[8] = 0x1234;
+        st.a[12] = 0x5678;
+        run(&mut st, &mut mem, Instr::Call { off: 0x100 });
+        assert_eq!(st.pc, 0x8000_0200);
+        assert_eq!(st.a[11], 0x8000_0004, "return address");
+        // Callee clobbers.
+        st.d[8] = 0;
+        st.a[12] = 0;
+        let out = run(&mut st, &mut mem, Instr::Ret);
+        assert_eq!(out.flow.unwrap().kind, FlowKind::Return);
+        assert_eq!(st.pc, 0x8000_0004);
+        assert_eq!(st.d[8], 0x1234);
+        assert_eq!(st.a[12], 0x5678);
+    }
+
+    #[test]
+    fn jl_is_a_light_call_without_csa() {
+        let (mut st, mut mem) = setup();
+        let fcx_before = st.fcx;
+        st.pc = 0x8000_0000;
+        run(&mut st, &mut mem, Instr::Jl { off: 4 });
+        assert_eq!(st.a[11], 0x8000_0004);
+        assert_eq!(st.fcx, fcx_before, "JL allocates no CSA");
+    }
+
+    #[test]
+    fn interrupt_entry_and_rfe() {
+        let (mut st, mut mem) = setup();
+        st.biv = 0x8000_2000;
+        st.pc = 0x8000_0042;
+        st.icr_ie = true;
+        st.icr_ccpn = 0;
+        let flow = enter_interrupt(&mut st, &mut mem, 5).unwrap();
+        assert_eq!(flow.kind, FlowKind::Exception);
+        assert_eq!(st.pc, 0x8000_2000 + 5 * 32);
+        assert_eq!(st.icr_ccpn, 5);
+        assert!(!st.icr_ie, "IE cleared on entry");
+        assert_eq!(st.a[11], 0x8000_0042);
+        // Handler returns.
+        let out = run(&mut st, &mut mem, Instr::Rfe);
+        assert_eq!(out.flow.unwrap().kind, FlowKind::ExceptionReturn);
+        assert_eq!(st.pc, 0x8000_0042);
+        assert_eq!(st.icr_ccpn, 0);
+        assert!(st.icr_ie, "IE restored by RFE");
+    }
+
+    #[test]
+    fn syscall_vectors_to_btv() {
+        let (mut st, mut mem) = setup();
+        st.btv = 0x8000_3000;
+        st.pc = 0x8000_0010;
+        let out = run(&mut st, &mut mem, Instr::Syscall { num: 9 });
+        assert_eq!(out.flow.unwrap().kind, FlowKind::Exception);
+        assert_eq!(st.pc, 0x8000_3000);
+        assert_eq!(st.d[15], 9);
+        assert_eq!(st.a[11], 0x8000_0014);
+    }
+
+    #[test]
+    fn misc_system_ops() {
+        let (mut st, mut mem) = setup();
+        run(&mut st, &mut mem, Instr::Enable);
+        assert!(st.icr_ie);
+        run(&mut st, &mut mem, Instr::Disable);
+        assert!(!st.icr_ie);
+        let out = run(&mut st, &mut mem, Instr::Debug { code: 7 });
+        assert_eq!(out.debug, Some(7));
+        let out = run(&mut st, &mut mem, Instr::Wait);
+        assert!(out.wait);
+        let out = run(&mut st, &mut mem, Instr::Halt);
+        assert!(out.halt);
+    }
+
+    #[test]
+    fn sel_conditional_move() {
+        let (mut st, mut mem) = setup();
+        st.d[0] = 1;
+        st.d[1] = 0;
+        st.d[2] = 99;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Sel {
+                rd: DReg(0),
+                cond: DReg(1),
+                rs: DReg(2),
+            },
+        );
+        assert_eq!(st.d[0], 1, "cond false keeps rd");
+        st.d[1] = 1;
+        run(
+            &mut st,
+            &mut mem,
+            Instr::Sel {
+                rd: DReg(0),
+                cond: DReg(1),
+                rs: DReg(2),
+            },
+        );
+        assert_eq!(st.d[0], 99, "cond true takes rs");
+    }
+
+    #[test]
+    fn mem_access_plan_matches_execution() {
+        let (mut st, _mem) = setup();
+        st.a[2] = 0xD000_0100;
+        let plan = mem_access_of(
+            &st,
+            &Instr::Ld {
+                rd: DReg(0),
+                ab: AReg(2),
+                off: 8,
+                width: MemWidth::Half,
+                sign: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.addr, Addr(0xD000_0108));
+        assert_eq!(plan.size, 2);
+        assert!(!plan.is_store);
+        assert!(mem_access_of(&st, &Instr::Nop).is_none());
+    }
+}

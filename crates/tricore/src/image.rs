@@ -1,0 +1,223 @@
+//! Program images produced by the assembler and consumed by loaders,
+//! disassemblers and the host-side trace reconstruction.
+
+use std::collections::BTreeMap;
+
+use audo_common::{Addr, SimError};
+
+use crate::arch::ArchMem;
+
+/// A contiguous run of bytes at a fixed address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Load address of the first byte.
+    pub base: Addr,
+    /// Section contents.
+    pub bytes: Vec<u8>,
+}
+
+/// An assembled program: sections, the symbol table, and the entry point.
+///
+/// # Examples
+///
+/// ```
+/// use audo_tricore::asm::assemble;
+///
+/// let image = assemble(
+///     "
+///     .org 0x80000000
+/// _start:
+///     movi d0, 42
+///     halt
+///     ",
+/// )?;
+/// assert_eq!(image.entry().0, 0x8000_0000);
+/// assert_eq!(image.symbol("_start"), Some(audo_common::Addr(0x8000_0000)));
+/// # Ok::<(), audo_common::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Image {
+    sections: Vec<Section>,
+    symbols: BTreeMap<String, u32>,
+    entry: u32,
+}
+
+impl Image {
+    /// Creates an image from raw parts. The entry point is the `_start`
+    /// symbol if present, otherwise the base of the first section.
+    #[must_use]
+    pub fn from_parts(sections: Vec<Section>, symbols: BTreeMap<String, u32>) -> Image {
+        let entry = symbols
+            .get("_start")
+            .copied()
+            .or_else(|| sections.first().map(|s| s.base.0))
+            .unwrap_or(0);
+        Image {
+            sections,
+            symbols,
+            entry,
+        }
+    }
+
+    /// The program entry point.
+    #[must_use]
+    pub fn entry(&self) -> Addr {
+        Addr(self.entry)
+    }
+
+    /// All sections in definition order.
+    #[must_use]
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Looks up a symbol's address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<Addr> {
+        self.symbols.get(name).copied().map(Addr)
+    }
+
+    /// The full symbol table, sorted by name.
+    #[must_use]
+    pub fn symbols(&self) -> &BTreeMap<String, u32> {
+        &self.symbols
+    }
+
+    /// Returns `(address, name)` pairs of all symbols, sorted by address —
+    /// the function table used by the profiler for hot-spot attribution.
+    #[must_use]
+    pub fn symbols_by_addr(&self) -> Vec<(Addr, &str)> {
+        let mut v: Vec<(Addr, &str)> = self
+            .symbols
+            .iter()
+            .map(|(n, &a)| (Addr(a), n.as_str()))
+            .collect();
+        v.sort_by_key(|&(a, _)| a);
+        v
+    }
+
+    /// Returns the name of the innermost symbol at or before `addr`, if any.
+    #[must_use]
+    pub fn symbol_containing(&self, addr: Addr) -> Option<&str> {
+        self.symbols
+            .iter()
+            .filter(|&(_, &a)| a <= addr.0)
+            .max_by_key(|&(_, &a)| a)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// Total size of all sections in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.sections.iter().map(|s| s.bytes.len()).sum()
+    }
+
+    /// Reads the byte at `addr` from the image, if covered by a section.
+    #[must_use]
+    pub fn byte_at(&self, addr: Addr) -> Option<u8> {
+        for s in &self.sections {
+            if addr.in_range(s.base, s.bytes.len() as u32) {
+                return Some(s.bytes[(addr.0 - s.base.0) as usize]);
+            }
+        }
+        None
+    }
+
+    /// Reads up to `len` consecutive bytes starting at `addr`.
+    #[must_use]
+    pub fn bytes_at(&self, addr: Addr, len: usize) -> Option<Vec<u8>> {
+        (0..len)
+            .map(|i| self.byte_at(addr.offset(i as u32)))
+            .collect()
+    }
+
+    /// Writes every section into a functional memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a section lies outside mapped memory.
+    pub fn load_into<M: ArchMem>(&self, mem: &mut M) -> Result<(), SimError> {
+        for s in &self.sections {
+            for (i, &b) in s.bytes.iter().enumerate() {
+                mem.write(s.base.offset(i as u32), 1, u32::from(b))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_image() -> Image {
+        let mut syms = BTreeMap::new();
+        syms.insert("_start".to_string(), 0x8000_0010);
+        syms.insert("table".to_string(), 0x8000_0100);
+        syms.insert("func_b".to_string(), 0x8000_0040);
+        Image::from_parts(
+            vec![
+                Section {
+                    base: Addr(0x8000_0000),
+                    bytes: vec![1, 2, 3, 4],
+                },
+                Section {
+                    base: Addr(0x8000_0100),
+                    bytes: vec![9, 9],
+                },
+            ],
+            syms,
+        )
+    }
+
+    #[test]
+    fn entry_prefers_start_symbol() {
+        let img = demo_image();
+        assert_eq!(img.entry(), Addr(0x8000_0010));
+        let img2 = Image::from_parts(
+            vec![Section {
+                base: Addr(0x4000),
+                bytes: vec![0],
+            }],
+            BTreeMap::new(),
+        );
+        assert_eq!(img2.entry(), Addr(0x4000));
+    }
+
+    #[test]
+    fn byte_lookup_across_sections() {
+        let img = demo_image();
+        assert_eq!(img.byte_at(Addr(0x8000_0003)), Some(4));
+        assert_eq!(img.byte_at(Addr(0x8000_0004)), None);
+        assert_eq!(img.byte_at(Addr(0x8000_0101)), Some(9));
+        assert_eq!(img.bytes_at(Addr(0x8000_0000), 4), Some(vec![1, 2, 3, 4]));
+        assert_eq!(
+            img.bytes_at(Addr(0x8000_0002), 4),
+            None,
+            "crosses section end"
+        );
+    }
+
+    #[test]
+    fn symbol_containment() {
+        let img = demo_image();
+        assert_eq!(img.symbol_containing(Addr(0x8000_0015)), Some("_start"));
+        assert_eq!(img.symbol_containing(Addr(0x8000_0050)), Some("func_b"));
+        assert_eq!(img.symbol_containing(Addr(0x8000_0000)), None);
+        let by_addr = img.symbols_by_addr();
+        assert_eq!(by_addr[0].1, "_start");
+        assert_eq!(by_addr[2].1, "table");
+    }
+
+    #[test]
+    fn load_into_flat_memory() {
+        use crate::mem::FlatMem;
+        let img = demo_image();
+        let mut mem = FlatMem::new();
+        mem.add_region(Addr(0x8000_0000), 0x200);
+        img.load_into(&mut mem).unwrap();
+        assert_eq!(mem.read_byte(Addr(0x8000_0001)).unwrap(), 2);
+        assert_eq!(mem.read_byte(Addr(0x8000_0100)).unwrap(), 9);
+        assert_eq!(img.size(), 6);
+    }
+}

@@ -1,0 +1,300 @@
+//! Functional instruction-set simulator (the golden model).
+//!
+//! Executes a program on [`FlatMem`] with no timing at all, one instruction
+//! per step, using the exact semantics of [`crate::exec::execute`]. The
+//! cycle-accurate pipeline must produce the same architectural results; the
+//! integration suite compares the two on random and hand-written programs.
+
+use audo_common::{Addr, SimError};
+
+use crate::arch::{init_csa_list, ArchState};
+use crate::encode::decode;
+use crate::exec::{execute, Outcome};
+use crate::image::Image;
+use crate::mem::FlatMem;
+
+/// Result of running a program to completion on the golden model.
+#[derive(Debug, Clone)]
+pub struct IssRun {
+    /// Final architectural state.
+    pub state: ArchState,
+    /// Final memory contents.
+    pub mem: FlatMem,
+    /// Number of instructions retired.
+    pub instr_count: u64,
+    /// Debug marker codes in emission order.
+    pub debug_markers: Vec<u8>,
+}
+
+/// The functional golden-model simulator.
+///
+/// # Examples
+///
+/// ```
+/// use audo_common::Addr;
+/// use audo_tricore::asm::assemble;
+/// use audo_tricore::iss::Iss;
+///
+/// let image = assemble("
+///     .org 0x1000
+///     movi d0, 6
+///     movi d1, 7
+///     mul  d2, d0, d1
+///     halt
+/// ")?;
+/// let mut iss = Iss::new();
+/// iss.map_region(Addr(0x1000), 0x1000);
+/// iss.load(&image)?;
+/// let run = iss.run(10_000)?;
+/// assert_eq!(run.state.d[2], 42);
+/// # Ok::<(), audo_common::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Iss {
+    state: ArchState,
+    mem: FlatMem,
+    instr_count: u64,
+    debug_markers: Vec<u8>,
+    halted: bool,
+}
+
+impl Default for Iss {
+    fn default() -> Iss {
+        Iss::new()
+    }
+}
+
+impl Iss {
+    /// Creates an ISS with empty memory and reset state.
+    #[must_use]
+    pub fn new() -> Iss {
+        Iss {
+            state: ArchState::new(0),
+            mem: FlatMem::new(),
+            instr_count: 0,
+            debug_markers: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// Maps a RAM/ROM region.
+    pub fn map_region(&mut self, base: Addr, len: u32) {
+        self.mem.add_region(base, len);
+    }
+
+    /// Loads an image and points the PC at its entry.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a section lies outside mapped memory.
+    pub fn load(&mut self, image: &Image) -> Result<(), SimError> {
+        image.load_into(&mut self.mem)?;
+        self.state.pc = image.entry().0;
+        Ok(())
+    }
+
+    /// Initialises the CSA free list (needed before `CALL`/interrupts).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the CSA region is not mapped.
+    pub fn init_csa(&mut self, base: Addr, count: u32) -> Result<(), SimError> {
+        self.state.fcx = init_csa_list(&mut self.mem, base, count)?;
+        Ok(())
+    }
+
+    /// Direct access to the architectural state.
+    #[must_use]
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Mutable access to the architectural state (for test setup).
+    pub fn state_mut(&mut self) -> &mut ArchState {
+        &mut self.state
+    }
+
+    /// Direct access to memory.
+    #[must_use]
+    pub fn mem(&self) -> &FlatMem {
+        &self.mem
+    }
+
+    /// Mutable access to memory (for test setup).
+    pub fn mem_mut(&mut self) -> &mut FlatMem {
+        &mut self.mem
+    }
+
+    /// Whether a `HALT` has been executed.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode and memory faults.
+    pub fn step(&mut self) -> Result<Outcome, SimError> {
+        let pc = self.state.pc;
+        let bytes = self
+            .mem
+            .read_bytes(Addr(pc), 4)
+            .or_else(|_| self.mem.read_bytes(Addr(pc), 2))?;
+        let (instr, ilen) = decode(&bytes, Addr(pc))?;
+        let out = execute(&mut self.state, &mut self.mem, &instr, pc, ilen)?;
+        self.instr_count += 1;
+        if let Some(code) = out.debug {
+            self.debug_markers.push(code);
+        }
+        if out.halt {
+            self.halted = true;
+        }
+        Ok(out)
+    }
+
+    /// Runs until `HALT` or until `max_instrs` instructions have retired.
+    ///
+    /// `WAIT` also stops the run: the functional model has no interrupt
+    /// sources, so waiting would never end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LimitExceeded`] if the limit is hit, or any
+    /// decode/memory fault.
+    pub fn run(mut self, max_instrs: u64) -> Result<IssRun, SimError> {
+        while !self.halted {
+            if self.instr_count >= max_instrs {
+                return Err(SimError::LimitExceeded {
+                    what: "instructions retired",
+                    limit: max_instrs,
+                });
+            }
+            let out = self.step()?;
+            if out.wait {
+                break;
+            }
+        }
+        Ok(IssRun {
+            state: self.state,
+            mem: self.mem,
+            instr_count: self.instr_count,
+            debug_markers: self.debug_markers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_asm(src: &str) -> IssRun {
+        let image = assemble(src).expect("assembles");
+        let mut iss = Iss::new();
+        iss.map_region(Addr(0x0000_1000), 0x4000);
+        iss.map_region(Addr(0xD000_0000), 0x1_0000);
+        iss.init_csa(Addr(0xD000_8000), 32).unwrap();
+        iss.load(&image).expect("loads");
+        iss.run(1_000_000).expect("runs")
+    }
+
+    #[test]
+    fn fibonacci_loop() {
+        let run = run_asm(
+            "
+            .org 0x1000
+            movi d0, 0      ; fib(0)
+            movi d1, 1      ; fib(1)
+            movi d2, 10     ; iterations
+        head:
+            add  d3, d0, d1
+            mov  d0, d1
+            mov  d1, d3
+            addi d2, d2, -1
+            jnz  d2, head
+            halt
+        ",
+        );
+        assert_eq!(run.state.d[0], 55);
+        assert_eq!(run.state.d[1], 89);
+    }
+
+    #[test]
+    fn function_call_with_stack_data() {
+        let run = run_asm(
+            "
+            .org 0x1000
+        _start:
+            la   sp, 0xD0004000
+            movi d4, 21
+            call double
+            halt
+        double:
+            add  d4, d4, d4
+            ret
+        ",
+        );
+        assert_eq!(run.state.d[4], 42);
+    }
+
+    #[test]
+    fn table_sum_with_hardware_loop() {
+        let run = run_asm(
+            "
+            .org 0x1000
+        _start:
+            la   a2, table
+            movi d0, 0
+            movi d1, 4
+            mov.a a3, d1
+        head:
+            ld.w d2, [a2+]4
+            add  d0, d0, d2
+            loop a3, head
+            halt
+        table:
+            .word 10, 20, 30, 40
+        ",
+        );
+        assert_eq!(run.state.d[0], 100);
+    }
+
+    #[test]
+    fn debug_markers_collected_in_order() {
+        let run = run_asm(".org 0x1000\n debug 1\n debug 2\n debug 200\n halt\n");
+        assert_eq!(run.debug_markers, vec![1, 2, 200]);
+    }
+
+    #[test]
+    fn limit_guard_catches_runaway() {
+        let image = assemble(".org 0x1000\nspin: j spin\n").unwrap();
+        let mut iss = Iss::new();
+        iss.map_region(Addr(0x1000), 0x100);
+        iss.load(&image).unwrap();
+        let e = iss.run(100).unwrap_err();
+        assert!(matches!(e, SimError::LimitExceeded { .. }));
+    }
+
+    #[test]
+    fn wait_ends_the_functional_run() {
+        let run = run_asm(".org 0x1000\n movi d0, 1\n wait\n movi d0, 2\n halt\n");
+        assert_eq!(run.state.d[0], 1);
+    }
+
+    #[test]
+    fn store_then_load_through_memory() {
+        let run = run_asm(
+            "
+            .org 0x1000
+            la   a2, 0xD0000100
+            li   d0, 0xCAFEBABE
+            st.w d0, [a2]
+            ld.hu d1, [a2+2]
+            halt
+        ",
+        );
+        assert_eq!(run.state.d[1], 0xCAFE);
+    }
+}

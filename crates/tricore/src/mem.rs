@@ -1,0 +1,209 @@
+//! Simple functional memory for the golden-model ISS and for unit tests.
+
+use std::collections::BTreeMap;
+
+use audo_common::{Addr, SimError};
+
+use crate::arch::ArchMem;
+
+/// Flat, region-based functional memory with no timing.
+///
+/// Regions are added explicitly; accesses outside any region fail with
+/// [`SimError::UnmappedAddress`], which mirrors how the real SoC buses
+/// report address errors.
+///
+/// # Examples
+///
+/// ```
+/// use audo_common::Addr;
+/// use audo_tricore::arch::ArchMem;
+/// use audo_tricore::mem::FlatMem;
+///
+/// let mut m = FlatMem::new();
+/// m.add_region(Addr(0x1000), 256);
+/// m.write(Addr(0x1000), 4, 0xDEAD_BEEF)?;
+/// assert_eq!(m.read(Addr(0x1000), 4)?, 0xDEAD_BEEF);
+/// assert_eq!(m.read(Addr(0x1002), 2)?, 0xDEAD);
+/// # Ok::<(), audo_common::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlatMem {
+    regions: BTreeMap<u32, Vec<u8>>,
+}
+
+impl FlatMem {
+    /// Creates an empty memory with no mapped regions.
+    #[must_use]
+    pub fn new() -> FlatMem {
+        FlatMem::default()
+    }
+
+    /// Maps a zero-initialised region of `len` bytes at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overlaps an existing one.
+    pub fn add_region(&mut self, base: Addr, len: u32) {
+        for (&b, data) in &self.regions {
+            let existing_end = b as u64 + data.len() as u64;
+            let new_end = base.0 as u64 + u64::from(len);
+            assert!(
+                new_end <= u64::from(b) || u64::from(base.0) >= existing_end,
+                "region {base}+{len:#x} overlaps existing region at {:#x}",
+                b
+            );
+        }
+        self.regions.insert(base.0, vec![0; len as usize]);
+    }
+
+    /// Copies `bytes` into memory at `base` (which must be mapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target range is not fully mapped.
+    pub fn load(&mut self, base: Addr, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(base.offset(i as u32), b)
+                .unwrap_or_else(|_| panic!("load outside mapped memory at {base}+{i}"));
+        }
+    }
+
+    fn locate(&self, addr: Addr) -> Option<(u32, usize)> {
+        let (&base, data) = self.regions.range(..=addr.0).next_back()?;
+        let off = (addr.0 - base) as usize;
+        if off < data.len() {
+            Some((base, off))
+        } else {
+            None
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnmappedAddress`] outside mapped regions.
+    pub fn read_byte(&self, addr: Addr) -> Result<u8, SimError> {
+        let (base, off) = self
+            .locate(addr)
+            .ok_or(SimError::UnmappedAddress { addr })?;
+        Ok(self.regions[&base][off])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnmappedAddress`] outside mapped regions.
+    pub fn write_byte(&mut self, addr: Addr, value: u8) -> Result<(), SimError> {
+        let (base, off) = self
+            .locate(addr)
+            .ok_or(SimError::UnmappedAddress { addr })?;
+        self.regions.get_mut(&base).expect("located region exists")[off] = value;
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnmappedAddress`] if any byte is unmapped.
+    pub fn read_bytes(&self, addr: Addr, len: usize) -> Result<Vec<u8>, SimError> {
+        (0..len)
+            .map(|i| self.read_byte(addr.offset(i as u32)))
+            .collect()
+    }
+}
+
+impl ArchMem for FlatMem {
+    fn read(&mut self, addr: Addr, size: u8) -> Result<u32, SimError> {
+        if !addr.is_aligned(u32::from(size)) {
+            return Err(SimError::MisalignedAccess { addr, size });
+        }
+        let mut v: u32 = 0;
+        for i in 0..size {
+            v |= u32::from(self.read_byte(addr.offset(u32::from(i)))?) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn write(&mut self, addr: Addr, size: u8, value: u32) -> Result<(), SimError> {
+        if !addr.is_aligned(u32::from(size)) {
+            return Err(SimError::MisalignedAccess { addr, size });
+        }
+        for i in 0..size {
+            self.write_byte(addr.offset(u32::from(i)), (value >> (8 * i)) as u8)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_errors() {
+        let mut m = FlatMem::new();
+        assert!(matches!(
+            m.read(Addr(0x40), 4),
+            Err(SimError::UnmappedAddress { .. })
+        ));
+        m.add_region(Addr(0x100), 16);
+        assert!(m.read(Addr(0x100), 4).is_ok());
+        assert!(m.read(Addr(0x110), 4).is_err());
+        // Last byte of the region is accessible, word crossing the end is not.
+        assert!(m.read_byte(Addr(0x10F)).is_ok());
+        assert!(m.read(Addr(0x10C), 4).is_ok());
+    }
+
+    #[test]
+    fn misaligned_access_errors() {
+        let mut m = FlatMem::new();
+        m.add_region(Addr(0), 64);
+        assert!(matches!(
+            m.read(Addr(2), 4),
+            Err(SimError::MisalignedAccess { .. })
+        ));
+        assert!(matches!(
+            m.write(Addr(1), 2, 0),
+            Err(SimError::MisalignedAccess { .. })
+        ));
+        assert!(m.read(Addr(1), 1).is_ok());
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = FlatMem::new();
+        m.add_region(Addr(0), 8);
+        m.write(Addr(0), 4, 0x0403_0201).unwrap();
+        assert_eq!(m.read_byte(Addr(0)).unwrap(), 0x01);
+        assert_eq!(m.read_byte(Addr(3)).unwrap(), 0x04);
+        assert_eq!(m.read(Addr(2), 2).unwrap(), 0x0403);
+    }
+
+    #[test]
+    fn load_and_read_bytes() {
+        let mut m = FlatMem::new();
+        m.add_region(Addr(0x200), 16);
+        m.load(Addr(0x200), &[1, 2, 3, 4]);
+        assert_eq!(m.read_bytes(Addr(0x200), 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_regions_panic() {
+        let mut m = FlatMem::new();
+        m.add_region(Addr(0x100), 32);
+        m.add_region(Addr(0x110), 32);
+    }
+
+    #[test]
+    fn adjacent_regions_are_fine() {
+        let mut m = FlatMem::new();
+        m.add_region(Addr(0x100), 32);
+        m.add_region(Addr(0x120), 32);
+        assert!(m.read(Addr(0x11C), 4).is_ok());
+        assert!(m.read(Addr(0x120), 4).is_ok());
+    }
+}

@@ -1,0 +1,1075 @@
+//! Cycle-level model of the TC-R tri-issue in-order pipeline.
+//!
+//! The model reproduces the timing-relevant structure of a TriCore 1.3-class
+//! core:
+//!
+//! * **Fetch**: one 64-bit granule per request through the instruction-side
+//!   bus (I-cache / PSPR), feeding a decode queue; mixed 16/32-bit
+//!   instructions are carved out of the byte stream.
+//! * **Issue**: up to three instructions per cycle, one per pipe
+//!   (integer / load-store / loop), in program order, with no intra-bundle
+//!   dependencies. This is what makes "up to 3 instructions within a clock
+//!   cycle" (the paper's IPC example) possible.
+//! * **Hazards**: a register scoreboard models load-use (1 cycle) and
+//!   multiply (2 cycles) latency; divide occupies the integer pipe.
+//! * **Branches**: static prediction — backward conditional branches are
+//!   predicted taken, forward not-taken; mispredicts pay a flush penalty.
+//! * **Loop buffer**: the `LOOP` instruction's body is captured on its first
+//!   iterations and then replayed with zero fetch traffic and zero redirect
+//!   bubble, like the TriCore loop pipeline.
+//! * **Context operations**: `CALL`/`RET`/interrupt entry spill/refill the
+//!   upper context through the data port and serialize the pipeline.
+//!
+//! Architectural semantics are delegated to [`crate::exec::execute`]; the
+//! pipeline only adds *time*.
+
+use std::collections::VecDeque;
+
+use audo_common::events::{FlowKind, StallReason};
+use audo_common::{Addr, Cycle, EventSink, PerfEvent, SimError, SourceId};
+
+use crate::arch::ArchState;
+use crate::bus::{CoreBus, TimedMem, FETCH_BYTES};
+use crate::encode::decode;
+use crate::exec::{enter_interrupt, execute};
+use crate::isa::{Instr, Pipe, RegRef};
+
+/// Timing configuration of the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Result latency of `MUL`/`MAC` in cycles.
+    pub mul_latency: u64,
+    /// Cycles `DIV`/`REM` occupy the integer pipe.
+    pub div_busy: u64,
+    /// Extra flush cycles for a mispredicted branch.
+    pub mispredict_penalty: u64,
+    /// Serialization cycles for a context save/restore (CSA spill uses a
+    /// wide local-memory port, so this is small despite the 16-word frame).
+    pub ctx_cycles: u64,
+    /// Maximum decoded instructions buffered ahead of issue.
+    pub fetch_queue: usize,
+    /// Maximum loop-body instructions the loop buffer can capture.
+    pub loop_buffer: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig {
+            mul_latency: 2,
+            div_busy: 8,
+            mispredict_penalty: 2,
+            ctx_cycles: 4,
+            fetch_queue: 8,
+            loop_buffer: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Decoded {
+    pc: u32,
+    instr: Instr,
+    len: u8,
+}
+
+#[derive(Debug, Clone)]
+enum QEntry {
+    Ok(Decoded),
+    /// Decode failed at this PC; fatal only if it reaches issue.
+    Bad(u32, SimError),
+}
+
+#[derive(Debug, Clone)]
+struct LoopBuf {
+    loop_pc: u32,
+    target: u32,
+    body: Vec<Decoded>,
+    ready: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingFetch {
+    gen: u64,
+    base: Addr,
+    ready_at: Cycle,
+    bytes: [u8; FETCH_BYTES as usize],
+}
+
+/// What one pipeline step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepOutput {
+    /// Instructions retired this cycle (0..=3).
+    pub retired: u8,
+    /// An interrupt of this priority was accepted this cycle.
+    pub irq_taken: Option<u8>,
+    /// `HALT` has been executed (now or earlier).
+    pub halted: bool,
+}
+
+/// The cycle-level TC-R core.
+#[derive(Debug, Clone)]
+pub struct Core {
+    arch: ArchState,
+    cfg: CoreConfig,
+    source: SourceId,
+
+    // Fetch state.
+    fetch_gen: u64,
+    pending_fetch: Option<PendingFetch>,
+    byte_buf: Vec<u8>,
+    byte_buf_pc: u32,
+    decode_q: VecDeque<QEntry>,
+
+    // Timing state.
+    stall_until: Cycle,
+    stall_reason: StallReason,
+    ip_busy_until: Cycle,
+    ready_d: [Cycle; 16],
+    ready_a: [Cycle; 16],
+
+    loop_buf: Option<LoopBuf>,
+    recording: bool,
+
+    halted: bool,
+    idle: bool,
+    retired_total: u64,
+}
+
+impl Core {
+    /// Creates a core with the given timing config, reset PC and trace
+    /// source id (used to attribute emitted events).
+    #[must_use]
+    pub fn new(cfg: CoreConfig, reset_pc: Addr, source: SourceId) -> Core {
+        Core {
+            arch: ArchState::new(reset_pc.0),
+            cfg,
+            source,
+            fetch_gen: 0,
+            pending_fetch: None,
+            byte_buf: Vec::new(),
+            byte_buf_pc: reset_pc.0,
+            decode_q: VecDeque::new(),
+            stall_until: Cycle::ZERO,
+            stall_reason: StallReason::Fetch,
+            ip_busy_until: Cycle::ZERO,
+            ready_d: [Cycle::ZERO; 16],
+            ready_a: [Cycle::ZERO; 16],
+            loop_buf: None,
+            recording: false,
+            halted: false,
+            idle: false,
+            retired_total: 0,
+        }
+    }
+
+    /// The architectural state.
+    #[must_use]
+    pub fn arch(&self) -> &ArchState {
+        &self.arch
+    }
+
+    /// Mutable architectural state (for loaders and test setup). Changing
+    /// the PC through this does **not** flush the pipeline; use
+    /// [`Core::redirect`] for that.
+    pub fn arch_mut(&mut self) -> &mut ArchState {
+        &mut self.arch
+    }
+
+    /// Flushes the pipeline and restarts fetch/execution at `pc`.
+    pub fn redirect(&mut self, pc: Addr) {
+        self.arch.pc = pc.0;
+        self.flush(pc.0);
+    }
+
+    /// `true` once `HALT` has retired.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// `true` while the core sits in the `WAIT` idle state.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.idle
+    }
+
+    /// Total instructions retired since reset.
+    #[must_use]
+    pub fn retired_total(&self) -> u64 {
+        self.retired_total
+    }
+
+    fn flush(&mut self, new_pc: u32) {
+        self.fetch_gen += 1;
+        self.pending_fetch = None;
+        self.byte_buf.clear();
+        self.byte_buf_pc = new_pc;
+        self.decode_q.clear();
+        self.recording = false;
+    }
+
+    fn stream_end(&self) -> u32 {
+        self.byte_buf_pc.wrapping_add(self.byte_buf.len() as u32)
+    }
+
+    fn step_fetch<B: CoreBus>(&mut self, now: Cycle, bus: &mut B) {
+        // Harvest a completed fetch.
+        if let Some(pf) = self.pending_fetch {
+            if pf.gen != self.fetch_gen {
+                self.pending_fetch = None;
+            } else if pf.ready_at <= now {
+                let end = self.stream_end();
+                let lo = pf.base.0;
+                if end >= lo && end < lo + FETCH_BYTES {
+                    self.byte_buf
+                        .extend_from_slice(&pf.bytes[(end - lo) as usize..]);
+                }
+                self.pending_fetch = None;
+            }
+        }
+        // Carve instructions out of the byte stream.
+        while self.decode_q.len() < self.cfg.fetch_queue && self.byte_buf.len() >= 2 {
+            let pc = self.byte_buf_pc;
+            let need32 = self.byte_buf[0] & 1 == 1;
+            if need32 && self.byte_buf.len() < 4 {
+                break;
+            }
+            match decode(&self.byte_buf, Addr(pc)) {
+                Ok((instr, len)) => {
+                    self.byte_buf.drain(..len as usize);
+                    self.byte_buf_pc = pc.wrapping_add(u32::from(len));
+                    self.decode_q
+                        .push_back(QEntry::Ok(Decoded { pc, instr, len }));
+                }
+                Err(e) => {
+                    self.decode_q.push_back(QEntry::Bad(pc, e));
+                    self.byte_buf.clear();
+                    break;
+                }
+            }
+        }
+        // Launch the next fetch.
+        if self.pending_fetch.is_none()
+            && self.decode_q.len() < self.cfg.fetch_queue
+            && self.byte_buf.len() < 2 * FETCH_BYTES as usize
+            && !self.halted
+        {
+            let addr = Addr(self.stream_end());
+            match bus.fetch(now, addr) {
+                Ok(slot) => {
+                    self.pending_fetch = Some(PendingFetch {
+                        gen: self.fetch_gen,
+                        base: addr.align_down(FETCH_BYTES),
+                        ready_at: slot.ready_at.max(now + 1),
+                        bytes: slot.bytes,
+                    });
+                }
+                Err(e) => {
+                    // Fetching unmapped memory is fatal only if execution
+                    // actually reaches it.
+                    self.decode_q.push_back(QEntry::Bad(addr.0, e));
+                }
+            }
+        }
+    }
+
+    fn reg_ready(&self, r: RegRef) -> Cycle {
+        match r {
+            RegRef::D(i) => self.ready_d[i as usize],
+            RegRef::A(i) => self.ready_a[i as usize],
+        }
+    }
+
+    fn set_reg_ready(&mut self, r: RegRef, t: Cycle) {
+        match r {
+            RegRef::D(i) => self.ready_d[i as usize] = t,
+            RegRef::A(i) => self.ready_a[i as usize] = t,
+        }
+    }
+
+    fn serve_loop_buffer(&mut self, loop_pc: u32, target: u32) -> bool {
+        let Some(buf) = &self.loop_buf else {
+            return false;
+        };
+        if !(buf.ready && buf.loop_pc == loop_pc && buf.target == target) {
+            return false;
+        }
+        let body = buf.body.clone();
+        let resume = loop_pc.wrapping_add(4); // LOOP is always a 32-bit op
+        self.flush(resume);
+        for d in body {
+            self.decode_q.push_back(QEntry::Ok(d));
+        }
+        true
+    }
+
+    /// Advances the core by one cycle.
+    ///
+    /// `pending_irq` is the highest-priority pending interrupt from the
+    /// router (if any); it is accepted when strictly above the current CPU
+    /// priority and `ICR.IE` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns fatal faults: decode errors reached by execution, unmapped or
+    /// misaligned data accesses, CSA list exhaustion.
+    pub fn step<B: CoreBus>(
+        &mut self,
+        now: Cycle,
+        bus: &mut B,
+        pending_irq: Option<u8>,
+        sink: &mut EventSink,
+    ) -> Result<StepOutput, SimError> {
+        let mut out = StepOutput {
+            halted: self.halted,
+            ..StepOutput::default()
+        };
+        if self.halted {
+            return Ok(out);
+        }
+
+        // ----- Interrupt acceptance (at instruction boundaries) -----
+        if let Some(prio) = pending_irq {
+            let accept = prio > self.arch.icr_ccpn
+                && self.arch.icr_ie
+                && (self.idle || now >= self.stall_until);
+            if accept {
+                let from = Addr(self.arch.pc);
+                let mut tm = TimedMem::new(bus, now);
+                let flow = enter_interrupt(&mut self.arch, &mut tm, prio)?;
+                let done = tm.writes_accepted.max(now + self.cfg.ctx_cycles);
+                self.flush(flow.target.0);
+                self.idle = false;
+                self.stall_until = done;
+                self.stall_reason = StallReason::Context;
+                sink.emit(now, self.source, PerfEvent::IrqTaken { prio });
+                sink.emit(
+                    now,
+                    self.source,
+                    PerfEvent::FlowChange {
+                        kind: FlowKind::Exception,
+                        from,
+                        to: flow.target,
+                    },
+                );
+                out.irq_taken = Some(prio);
+            }
+        }
+
+        if self.idle {
+            sink.emit(
+                now,
+                self.source,
+                PerfEvent::Stall {
+                    reason: StallReason::Idle,
+                },
+            );
+            return Ok(out);
+        }
+
+        // ----- Fetch engine (always runs; fills during stalls too) -----
+        self.step_fetch(now, bus);
+
+        if now < self.stall_until {
+            sink.emit(
+                now,
+                self.source,
+                PerfEvent::Stall {
+                    reason: self.stall_reason,
+                },
+            );
+            return Ok(out);
+        }
+
+        // ----- Issue up to one instruction per pipe, in order -----
+        let mut ip_used = false;
+        let mut ls_used = false;
+        let mut lp_used = false;
+        let mut bundle_writes: Vec<RegRef> = Vec::new();
+        let mut issued = 0u8;
+        let mut first_block: Option<StallReason> = None;
+
+        'issue: while issued < 3 {
+            let Some(front) = self.decode_q.front() else {
+                if issued == 0 {
+                    first_block = Some(StallReason::Fetch);
+                }
+                break;
+            };
+            let dec = match front {
+                QEntry::Ok(d) => d.clone(),
+                QEntry::Bad(pc, e) => {
+                    if issued == 0 {
+                        return Err(match e {
+                            SimError::UnmappedAddress { .. } => {
+                                SimError::UnmappedAddress { addr: Addr(*pc) }
+                            }
+                            other => other.clone(),
+                        });
+                    }
+                    break;
+                }
+            };
+            let instr = dec.instr;
+
+            // Serializing instructions issue alone.
+            if instr.is_serializing() && issued > 0 {
+                break;
+            }
+            // Pipe availability.
+            let pipe = instr.pipe();
+            let pipe_free = match pipe {
+                Pipe::Ip => !ip_used,
+                Pipe::Ls => !ls_used,
+                Pipe::Lp => !lp_used,
+            };
+            if !pipe_free {
+                break;
+            }
+            // Integer-pipe unit busy (divide in flight).
+            if pipe == Pipe::Ip && now < self.ip_busy_until {
+                if issued == 0 {
+                    first_block = Some(StallReason::Execute);
+                }
+                break;
+            }
+            // Source operands ready?
+            for r in instr.reads().iter() {
+                if self.reg_ready(r) > now {
+                    if issued == 0 {
+                        first_block = Some(StallReason::Data);
+                    }
+                    break 'issue;
+                }
+            }
+            // No intra-bundle dependencies.
+            for r in instr.reads().iter().chain(instr.writes().iter()) {
+                if bundle_writes.contains(&r) {
+                    break 'issue;
+                }
+            }
+
+            // ----- Execute -----
+            self.decode_q.pop_front();
+            let pc = dec.pc;
+            let mut tm = TimedMem::new(bus, now);
+            let result = execute(&mut self.arch, &mut tm, &instr, pc, dec.len)?;
+            let (reads_ready, writes_accepted) = (tm.reads_ready, tm.writes_accepted);
+            let did_read = tm.read_count > 0;
+            let did_write = tm.write_count > 0;
+            issued += 1;
+            self.retired_total += 1;
+            match pipe {
+                Pipe::Ip => ip_used = true,
+                Pipe::Ls => ls_used = true,
+                Pipe::Lp => lp_used = true,
+            }
+
+            // Loop-body capture.
+            if self.recording {
+                let in_body = self
+                    .loop_buf
+                    .as_ref()
+                    .is_some_and(|b| pc >= b.target && pc <= b.loop_pc);
+                let is_other_branch =
+                    instr.is_control_flow() && !matches!(instr, Instr::Loop { .. });
+                if !in_body || is_other_branch {
+                    self.recording = false;
+                    self.loop_buf = None;
+                } else if let Some(buf) = &mut self.loop_buf {
+                    if buf.body.len() >= self.cfg.loop_buffer {
+                        self.recording = false;
+                        self.loop_buf = None;
+                    } else {
+                        buf.body.push(dec.clone());
+                        if pc == buf.loop_pc {
+                            buf.ready = true;
+                            self.recording = false;
+                        }
+                    }
+                }
+            }
+
+            // ----- Result latencies -----
+            let mut dest_ready = now;
+            if matches!(instr, Instr::Mul { .. } | Instr::Mac { .. }) {
+                dest_ready = now + self.cfg.mul_latency;
+            }
+            if matches!(instr, Instr::Div { .. } | Instr::Rem { .. }) {
+                self.ip_busy_until = now + self.cfg.div_busy;
+                dest_ready = now + self.cfg.div_busy;
+            }
+            if instr.is_serializing() {
+                let done = reads_ready.max(writes_accepted).max(
+                    now + if did_write || did_read {
+                        self.cfg.ctx_cycles
+                    } else {
+                        1
+                    },
+                );
+                self.stall_until = done;
+                self.stall_reason = StallReason::Context;
+            } else {
+                if did_read {
+                    if reads_ready > now {
+                        self.stall_until = reads_ready;
+                        self.stall_reason = StallReason::Data;
+                        dest_ready = reads_ready + 1;
+                    } else {
+                        dest_ready = dest_ready.max(now + 1); // load-use = 1
+                    }
+                }
+                if did_write && writes_accepted > now {
+                    self.stall_until = self.stall_until.max(writes_accepted);
+                    self.stall_reason = StallReason::StoreBuffer;
+                }
+            }
+            for r in instr.writes().iter() {
+                self.set_reg_ready(r, dest_ready);
+                bundle_writes.push(r);
+            }
+
+            // ----- Control flow and prediction -----
+            if let Some(flow) = result.flow {
+                sink.emit(
+                    now,
+                    self.source,
+                    PerfEvent::FlowChange {
+                        kind: flow.kind,
+                        from: Addr(pc),
+                        to: flow.target,
+                    },
+                );
+                let mut served_from_loop_buffer = false;
+                if let Instr::Loop { .. } = instr {
+                    if self.serve_loop_buffer(pc, flow.target.0) {
+                        served_from_loop_buffer = true;
+                    } else if !self
+                        .loop_buf
+                        .as_ref()
+                        .is_some_and(|b| b.ready && b.loop_pc == pc && b.target == flow.target.0)
+                    {
+                        // Start (re)recording this loop's body.
+                        self.loop_buf = Some(LoopBuf {
+                            loop_pc: pc,
+                            target: flow.target.0,
+                            body: Vec::new(),
+                            ready: false,
+                        });
+                        self.recording = true;
+                    }
+                }
+                if !served_from_loop_buffer {
+                    let recording = self.recording;
+                    let saved = self.loop_buf.take();
+                    self.flush(flow.target.0);
+                    self.loop_buf = saved;
+                    self.recording = recording;
+                    // Forward taken conditional = mispredict (static scheme
+                    // predicts backward-taken only).
+                    let mispredicted = result.branch_taken == Some(true)
+                        && flow.target.0 > pc
+                        && !matches!(instr, Instr::Loop { .. });
+                    if mispredicted {
+                        self.stall_until = self.stall_until.max(now + self.cfg.mispredict_penalty);
+                        self.stall_reason = StallReason::Branch;
+                    }
+                }
+                // A redirect ends the bundle.
+                self.finish_issue(now, issued, first_block, sink, &mut out, result)?;
+                return Ok(out);
+            }
+            if result.branch_taken == Some(false) {
+                sink.emit(now, self.source, PerfEvent::BranchNotTaken { at: Addr(pc) });
+                // Backward not-taken (loop exit or backward cond) was
+                // predicted taken: mispredict penalty, no flush needed.
+                let target_backward = match instr {
+                    Instr::JCond { off, .. }
+                    | Instr::Jz { off, .. }
+                    | Instr::Jnz { off, .. }
+                    | Instr::Loop { off, .. } => off < 0,
+                    _ => false,
+                };
+                if target_backward {
+                    self.stall_until = self.stall_until.max(now + self.cfg.mispredict_penalty);
+                    self.stall_reason = StallReason::Branch;
+                    self.finish_issue(now, issued, first_block, sink, &mut out, result)?;
+                    return Ok(out);
+                }
+            }
+
+            if result.debug.is_some() || result.wait || result.halt {
+                self.finish_issue(now, issued, first_block, sink, &mut out, result)?;
+                return Ok(out);
+            }
+            if instr.is_serializing() {
+                break;
+            }
+            // Data stall also ends the bundle.
+            if now < self.stall_until {
+                break;
+            }
+        }
+
+        let result = crate::exec::Outcome::default();
+        self.finish_issue(now, issued, first_block, sink, &mut out, result)?;
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_issue(
+        &mut self,
+        now: Cycle,
+        issued: u8,
+        first_block: Option<StallReason>,
+        sink: &mut EventSink,
+        out: &mut StepOutput,
+        last: crate::exec::Outcome,
+    ) -> Result<(), SimError> {
+        if let Some(code) = last.debug {
+            sink.emit(now, self.source, PerfEvent::DebugMarker { code });
+        }
+        if last.wait {
+            self.idle = true;
+        }
+        if last.halt {
+            self.halted = true;
+            out.halted = true;
+        }
+        out.retired = issued;
+        if issued > 0 {
+            sink.emit(now, self.source, PerfEvent::InstrRetired { count: issued });
+        } else if !self.halted && !self.idle {
+            let reason = first_block.unwrap_or(StallReason::Data);
+            sink.emit(now, self.source, PerfEvent::Stall { reason });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::bus::TestBus;
+    use crate::iss::Iss;
+
+    /// Runs a program on the pipeline with a scratchpad-like bus; returns
+    /// (core, cycles used, events).
+    fn run_pipeline(src: &str, max_cycles: u64) -> (Core, u64, Vec<audo_common::EventRecord>) {
+        let image = assemble(src).expect("assembles");
+        let mut bus = TestBus::new();
+        bus.mem.add_region(Addr(0x0000_1000), 0x4000);
+        bus.mem.add_region(Addr(0xD000_0000), 0x1_0000);
+        image.load_into(&mut bus.mem).unwrap();
+        let mut core = Core::new(CoreConfig::default(), image.entry(), SourceId::TRICORE);
+        core.arch_mut().fcx =
+            crate::arch::init_csa_list(&mut bus.mem, Addr(0xD000_8000), 32).unwrap();
+        let mut sink = EventSink::new();
+        let mut events = Vec::new();
+        let mut cyc = 0u64;
+        while !core.is_halted() && cyc < max_cycles {
+            core.step(Cycle(cyc), &mut bus, None, &mut sink)
+                .expect("no fault");
+            events.append(&mut sink.drain());
+            cyc += 1;
+        }
+        assert!(
+            core.is_halted(),
+            "program did not halt within {max_cycles} cycles"
+        );
+        (core, cyc, events)
+    }
+
+    fn golden(src: &str) -> crate::iss::IssRun {
+        let image = assemble(src).expect("assembles");
+        let mut iss = Iss::new();
+        iss.map_region(Addr(0x0000_1000), 0x4000);
+        iss.map_region(Addr(0xD000_0000), 0x1_0000);
+        iss.init_csa(Addr(0xD000_8000), 32).unwrap();
+        iss.load(&image).unwrap();
+        iss.run(1_000_000).expect("golden run")
+    }
+
+    fn check_against_golden(src: &str) -> (Core, u64) {
+        let (core, cycles, _) = run_pipeline(src, 200_000);
+        let g = golden(src);
+        assert_eq!(core.arch().d, g.state.d, "data registers diverge");
+        assert_eq!(core.arch().a, g.state.a, "address registers diverge");
+        assert_eq!(core.retired_total(), g.instr_count, "retire count diverges");
+        (core, cycles)
+    }
+
+    #[test]
+    fn straight_line_code_matches_golden() {
+        check_against_golden(
+            "
+            .org 0x1000
+            movi d0, 3
+            movi d1, 4
+            add d2, d0, d1
+            mul d3, d2, d2
+            sub d4, d3, d0
+            halt
+        ",
+        );
+    }
+
+    #[test]
+    fn dual_issue_raises_ipc_above_one() {
+        // Independent IP + LS pairs should co-issue.
+        let src = "
+            .org 0x1000
+            la a2, 0xD0000100
+            movi d0, 0
+            movi d1, 1
+            movi d2, 2
+            movi d3, 3
+            add d0, d1, d2
+            ld.w d4, [a2]
+            add d1, d2, d3
+            ld.w d5, [a2+4]
+            add d2, d3, d0
+            ld.w d6, [a2+8]
+            add d3, d0, d1
+            ld.w d7, [a2+12]
+            halt
+        ";
+        let (core, cycles) = check_against_golden(src);
+        let ipc = core.retired_total() as f64 / cycles as f64;
+        assert!(
+            ipc > 1.0,
+            "expected dual issue, got IPC {ipc:.2} ({cycles} cycles)"
+        );
+    }
+
+    #[test]
+    fn load_use_hazard_costs_a_cycle() {
+        let dependent = "
+            .org 0x1000
+            la a2, 0xD0000100
+            ld.w d0, [a2]
+            add d1, d0, d0      ; immediately uses the load
+            halt
+        ";
+        let independent = "
+            .org 0x1000
+            la a2, 0xD0000100
+            ld.w d0, [a2]
+            add d1, d2, d3      ; no dependence
+            halt
+        ";
+        let (_, dep_cycles, _) = run_pipeline(dependent, 10_000);
+        let (_, ind_cycles, _) = run_pipeline(independent, 10_000);
+        assert!(
+            dep_cycles > ind_cycles,
+            "load-use must cost extra ({dep_cycles} vs {ind_cycles})"
+        );
+    }
+
+    #[test]
+    fn loop_buffer_reaches_steady_state() {
+        // A tight MAC loop: after priming, LOOP runs with no fetch and no
+        // redirect bubble, so the 2-instruction body should sustain ~2 IPC.
+        let src = "
+            .org 0x1000
+            movi d0, 0
+            movi d1, 3
+            movi d2, 5
+            movi d3, 100
+            mov.a a3, d3
+        head:
+            mac d0, d1, d2
+            loop a3, head
+            halt
+        ";
+        let (core, cycles) = check_against_golden(src);
+        assert_eq!(core.arch().d[0], 1500);
+        // ~100 iterations × 2 instructions; with loop buffer this should be
+        // well under 3 cycles per iteration.
+        assert!(cycles < 280, "loop not accelerated: {cycles} cycles");
+    }
+
+    #[test]
+    fn division_blocks_the_integer_pipe() {
+        let src = "
+            .org 0x1000
+            movi d0, 1000
+            movi d1, 7
+            div d2, d0, d1
+            add d3, d2, d1      ; depends on divide result
+            halt
+        ";
+        let (core, cycles) = check_against_golden(src);
+        assert_eq!(core.arch().d[2], 142);
+        assert!(cycles >= 8, "divide latency not modeled: {cycles}");
+    }
+
+    #[test]
+    fn call_and_ret_serialize_and_match_golden() {
+        check_against_golden(
+            "
+            .org 0x1000
+        _start:
+            la sp, 0xD0004000
+            movi d4, 5
+            call square
+            mov d5, d4
+            call square
+            halt
+        square:
+            mul d4, d4, d4
+            ret
+        ",
+        );
+    }
+
+    #[test]
+    fn forward_taken_branch_pays_mispredict() {
+        let taken_fwd = "
+            .org 0x1000
+            movi d0, 0
+            jz d0, skip     ; forward taken = mispredict
+            nop
+            nop
+        skip:
+            halt
+        ";
+        let not_taken_fwd = "
+            .org 0x1000
+            movi d0, 1
+            jz d0, skip     ; forward not-taken = predicted correctly
+            nop
+            nop
+        skip:
+            halt
+        ";
+        let (_, t, _) = run_pipeline(taken_fwd, 10_000);
+        let (_, n, _) = run_pipeline(not_taken_fwd, 10_000);
+        // The not-taken path executes two extra NOPs yet should not be much
+        // slower; the taken path pays flush + refetch.
+        assert!(t + 1 >= n, "taken {t}, not-taken {n}");
+    }
+
+    #[test]
+    fn events_report_retires_and_stalls_for_every_cycle() {
+        let (_, cycles, events) = run_pipeline(
+            "
+            .org 0x1000
+            movi d0, 10
+        head:
+            addi d0, d0, -1
+            jnz d0, head
+            halt
+        ",
+            10_000,
+        );
+        let retired: u64 = events
+            .iter()
+            .filter_map(|e| match e.event {
+                PerfEvent::InstrRetired { count } => Some(u64::from(count)),
+                _ => None,
+            })
+            .sum();
+        let stall_cycles = events
+            .iter()
+            .filter(|e| matches!(e.event, PerfEvent::Stall { .. }))
+            .count() as u64;
+        let retire_cycles = events
+            .iter()
+            .filter(|e| matches!(e.event, PerfEvent::InstrRetired { .. }))
+            .count() as u64;
+        assert_eq!(retired, 22, "movi + 10×(addi+jnz) + halt");
+        // Every non-final cycle is either a retire cycle or a stall cycle.
+        assert_eq!(retire_cycles + stall_cycles, cycles);
+    }
+
+    #[test]
+    fn flow_change_events_track_taken_branches() {
+        let (_, _, events) = run_pipeline(
+            "
+            .org 0x1000
+            movi d0, 2
+        head:
+            addi d0, d0, -1
+            jnz d0, head
+            halt
+        ",
+            10_000,
+        );
+        let flows: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.event {
+                PerfEvent::FlowChange { kind, from, to } => Some((kind, from, to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flows.len(), 1, "one taken jnz expected: {flows:?}");
+        assert_eq!(flows[0].0, FlowKind::BranchTaken);
+        let not_taken = events
+            .iter()
+            .filter(|e| matches!(e.event, PerfEvent::BranchNotTaken { .. }))
+            .count();
+        assert_eq!(not_taken, 1);
+    }
+
+    #[test]
+    fn interrupt_entry_redirects_and_returns() {
+        let src = "
+            .org 0x1000
+        _start:
+            li d0, 0x2000       ; BIV
+            mtcr biv, d0
+            enable
+            movi d1, 0
+        spin:
+            addi d1, d1, 1
+            j spin
+
+            ; vector for priority 3 at BIV + 96
+            .org 0x2000 + 96
+            movi d2, 77
+            rfe
+        ";
+        let image = assemble(src).unwrap();
+        let mut bus = TestBus::new();
+        bus.mem.add_region(Addr(0x1000), 0x4000);
+        bus.mem.add_region(Addr(0xD000_0000), 0x1_0000);
+        image.load_into(&mut bus.mem).unwrap();
+        let mut core = Core::new(CoreConfig::default(), image.entry(), SourceId::TRICORE);
+        core.arch_mut().fcx =
+            crate::arch::init_csa_list(&mut bus.mem, Addr(0xD000_8000), 32).unwrap();
+        let mut sink = EventSink::new();
+        let mut irq_taken_at = None;
+        for cyc in 0..200u64 {
+            let irq = if (40..60).contains(&cyc) && irq_taken_at.is_none() {
+                Some(3)
+            } else {
+                None
+            };
+            let out = core.step(Cycle(cyc), &mut bus, irq, &mut sink).unwrap();
+            if out.irq_taken.is_some() {
+                irq_taken_at = Some(cyc);
+            }
+        }
+        assert!(irq_taken_at.is_some(), "interrupt never taken");
+        assert_eq!(core.arch().d[2], 77, "handler did not run");
+        assert_eq!(core.arch().icr_ccpn, 0, "RFE must restore priority");
+        assert!(core.arch().d[1] > 40, "main loop did not resume");
+    }
+
+    #[test]
+    fn wait_idles_until_interrupt() {
+        let src = "
+            .org 0x1000
+        _start:
+            li d0, 0x2000
+            mtcr biv, d0
+            enable
+            wait
+            movi d3, 1
+            halt
+            .org 0x2000 + 32    ; priority 1 vector
+            movi d2, 9
+            rfe
+        ";
+        let image = assemble(src).unwrap();
+        let mut bus = TestBus::new();
+        bus.mem.add_region(Addr(0x1000), 0x4000);
+        bus.mem.add_region(Addr(0xD000_0000), 0x1_0000);
+        image.load_into(&mut bus.mem).unwrap();
+        let mut core = Core::new(CoreConfig::default(), image.entry(), SourceId::TRICORE);
+        core.arch_mut().fcx =
+            crate::arch::init_csa_list(&mut bus.mem, Addr(0xD000_8000), 32).unwrap();
+        let mut sink = EventSink::new();
+        let mut was_idle = false;
+        for cyc in 0..300u64 {
+            if core.is_halted() {
+                break;
+            }
+            was_idle |= core.is_idle();
+            let irq = if cyc == 100 { Some(1) } else { None };
+            core.step(Cycle(cyc), &mut bus, irq, &mut sink).unwrap();
+        }
+        assert!(was_idle, "core never idled");
+        assert!(core.is_halted(), "core did not resume after interrupt");
+        assert_eq!(core.arch().d[2], 9);
+        assert_eq!(core.arch().d[3], 1);
+    }
+
+    #[test]
+    fn decode_error_is_fatal_only_when_reached() {
+        // Jump over garbage: fine.
+        let ok = "
+            .org 0x1000
+            j past
+            .half 0x1E         ; op 15 (unassigned 16-bit)
+        past:
+            halt
+        ";
+        let (_, _, _) = run_pipeline(ok, 10_000);
+        // Fall into garbage: fault.
+        let image = assemble(".org 0x1000\n nop\n .half 0x1E\n").unwrap();
+        let mut bus = TestBus::new();
+        bus.mem.add_region(Addr(0x1000), 0x100);
+        image.load_into(&mut bus.mem).unwrap();
+        let mut core = Core::new(CoreConfig::default(), image.entry(), SourceId::TRICORE);
+        let mut sink = EventSink::new();
+        let mut fault = None;
+        for cyc in 0..100 {
+            match core.step(Cycle(cyc), &mut bus, None, &mut sink) {
+                Ok(_) => {}
+                Err(e) => {
+                    fault = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(
+            matches!(fault, Some(SimError::DecodeInstr { .. })),
+            "{fault:?}"
+        );
+    }
+
+    #[test]
+    fn slow_memory_stalls_show_up_as_data_stalls() {
+        let src = "
+            .org 0x1000
+            la a2, 0xD0000100
+            ld.w d0, [a2]
+            ld.w d1, [a2+4]
+            halt
+        ";
+        let image = assemble(src).unwrap();
+        let mut bus = TestBus {
+            read_latency: 10,
+            ..TestBus::new()
+        };
+        bus.mem.add_region(Addr(0x1000), 0x1000);
+        bus.mem.add_region(Addr(0xD000_0000), 0x1_0000);
+        image.load_into(&mut bus.mem).unwrap();
+        let mut core = Core::new(CoreConfig::default(), image.entry(), SourceId::TRICORE);
+        let mut sink = EventSink::new();
+        let mut data_stalls = 0;
+        for cyc in 0..500u64 {
+            if core.is_halted() {
+                break;
+            }
+            core.step(Cycle(cyc), &mut bus, None, &mut sink).unwrap();
+        }
+        for e in sink.records() {
+            if matches!(
+                e.event,
+                PerfEvent::Stall {
+                    reason: StallReason::Data
+                }
+            ) {
+                data_stalls += 1;
+            }
+        }
+        assert!(
+            data_stalls >= 18,
+            "two 10-cycle loads should stall ~20 cycles, saw {data_stalls}"
+        );
+    }
+}

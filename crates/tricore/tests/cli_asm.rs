@@ -1,0 +1,41 @@
+//! End-to-end tests of the `audo-asm` command-line tool.
+
+use std::io::Write as _;
+use std::process::Command;
+
+#[test]
+fn audo_asm_lists_and_dumps() {
+    let dir = std::env::temp_dir().join("audo_asm_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.asm");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, ".org 0x1000\nstart: movi d0, 7\n add d1, d0, d0\n halt").unwrap();
+    drop(f);
+    let out = Command::new(env!("CARGO_BIN_EXE_audo-asm"))
+        .args([path.to_str().unwrap(), "--list", "--hex"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("start"), "{stdout}");
+    assert!(stdout.contains("movi d0, 7"), "{stdout}");
+    assert!(stdout.contains("section 0x00001000"), "{stdout}");
+}
+
+#[test]
+fn audo_asm_reports_assembly_errors() {
+    let dir = std::env::temp_dir().join("audo_asm_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.asm");
+    std::fs::write(&path, ".org 0\n bogus d1\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_audo-asm"))
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mnemonic"));
+}

@@ -1,0 +1,143 @@
+//! Property tests for tricky instruction semantics: TriCore-style dynamic
+//! shifts and bit-field operations, validated against reference formulas.
+
+use audo_common::Addr;
+use audo_tricore::arch::ArchState;
+use audo_tricore::exec::execute;
+use audo_tricore::isa::{DReg, Instr};
+use audo_tricore::mem::FlatMem;
+use proptest::prelude::*;
+
+fn run1(instr: Instr, d1: u32, d2: u32) -> u32 {
+    let mut st = ArchState::new(0x1000);
+    let mut mem = FlatMem::new();
+    st.d[1] = d1;
+    st.d[2] = d2;
+    execute(&mut st, &mut mem, &instr, 0x1000, 4).expect("executes");
+    st.d[0]
+}
+
+/// Reference for `SH`: low 6 bits of the amount, sign-extended; positive
+/// left, negative right logical; |amt| ≥ 32 saturates to zero.
+fn ref_sh(v: u32, amount: u32) -> u32 {
+    let amt = ((amount as i32) << 26) >> 26;
+    if amt >= 0 {
+        if amt >= 32 {
+            0
+        } else {
+            v << amt
+        }
+    } else if -amt >= 32 {
+        0
+    } else {
+        v >> -amt
+    }
+}
+
+fn ref_sha(v: u32, amount: u32) -> u32 {
+    let amt = ((amount as i32) << 26) >> 26;
+    if amt >= 0 {
+        if amt >= 32 {
+            0
+        } else {
+            v << amt
+        }
+    } else if -amt >= 32 {
+        ((v as i32) >> 31) as u32
+    } else {
+        ((v as i32) >> -amt) as u32
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2000, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sh_matches_reference(v in any::<u32>(), amount in any::<u32>()) {
+        let got = run1(Instr::Sh { rd: DReg(0), ra: DReg(1), rb: DReg(2) }, v, amount);
+        prop_assert_eq!(got, ref_sh(v, amount));
+    }
+
+    #[test]
+    fn sha_matches_reference(v in any::<u32>(), amount in any::<u32>()) {
+        let got = run1(Instr::Sha { rd: DReg(0), ra: DReg(1), rb: DReg(2) }, v, amount);
+        prop_assert_eq!(got, ref_sha(v, amount));
+    }
+
+    /// extract(insert(x, field)) returns the field.
+    #[test]
+    fn insert_then_extract_is_identity(
+        base in any::<u32>(),
+        field in any::<u32>(),
+        pos in 0u8..32,
+        width_seed in 1u8..33,
+    ) {
+        // Constrain width so the field fits (avoids reject storms).
+        let width = width_seed.min(32 - pos);
+        prop_assume!(width >= 1);
+        let mut st = ArchState::new(0x1000);
+        let mut mem = FlatMem::new();
+        st.d[0] = base;
+        st.d[2] = field;
+        execute(
+            &mut st,
+            &mut mem,
+            &Instr::Insert { rd: DReg(0), rs: DReg(2), pos, width },
+            0x1000,
+            4,
+        )
+        .unwrap();
+        execute(
+            &mut st,
+            &mut mem,
+            &Instr::Extr { rd: DReg(3), ra: DReg(0), pos, width },
+            0x1004,
+            4,
+        )
+        .unwrap();
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        prop_assert_eq!(st.d[3], field & mask);
+        // Bits outside the field are untouched.
+        let keep = !(mask << pos);
+        prop_assert_eq!(st.d[0] & keep, base & keep);
+    }
+
+    /// Division semantics: never traps, truncates toward zero, and
+    /// `q * b + r == a` whenever `b != 0` (no overflow case).
+    #[test]
+    fn div_rem_identity(a in any::<i32>(), b in any::<i32>()) {
+        let q = run1(Instr::Div { rd: DReg(0), ra: DReg(1), rb: DReg(2) }, a as u32, b as u32) as i32;
+        let r = run1(Instr::Rem { rd: DReg(0), ra: DReg(1), rb: DReg(2) }, a as u32, b as u32) as i32;
+        if b == 0 {
+            prop_assert_eq!(q, 0);
+            prop_assert_eq!(r, a);
+        } else if !(a == i32::MIN && b == -1) {
+            prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+            prop_assert_eq!(q, a.wrapping_div(b));
+        }
+    }
+
+    /// `CLZ` agrees with the host.
+    #[test]
+    fn clz_matches_host(v in any::<u32>()) {
+        let got = run1(Instr::Clz { rd: DReg(0), ra: DReg(1) }, v, 0);
+        prop_assert_eq!(got, v.leading_zeros());
+    }
+
+    /// `min`/`max` are signed and agree with the host.
+    #[test]
+    fn min_max_signed(a in any::<i32>(), b in any::<i32>()) {
+        let mn = run1(Instr::Min { rd: DReg(0), ra: DReg(1), rb: DReg(2) }, a as u32, b as u32);
+        let mx = run1(Instr::Max { rd: DReg(0), ra: DReg(1), rb: DReg(2) }, a as u32, b as u32);
+        prop_assert_eq!(mn as i32, a.min(b));
+        prop_assert_eq!(mx as i32, a.max(b));
+    }
+}
+
+#[test]
+fn addr_reporting_in_errors_uses_given_pc() {
+    // Decode errors report the caller-supplied PC.
+    let bad = [0x1Eu8, 0x00]; // unassigned 16-bit opcode 15
+    let err = audo_tricore::encode::decode(&bad, Addr(0xCAFE)).unwrap_err();
+    assert!(err.to_string().contains("cafe"), "{err}");
+}

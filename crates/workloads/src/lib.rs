@@ -1,0 +1,137 @@
+//! Synthetic automotive workloads for the simulated AUDO-class SoC.
+//!
+//! The paper's §4 explains why the microcontroller vendor cannot profile
+//! "the" customer application: every customer partitions hardware and
+//! software differently, and the software of *future* cars does not exist
+//! yet. What the methodology must handle is the *structure* of such
+//! applications: crank-synchronous interrupt processing, periodic OS tasks,
+//! flash-resident lookup tables, ADC chains fed by DMA, CAN traffic,
+//! EEPROM emulation, and a background task soaking up the rest. The
+//! [`engine`] workload reproduces exactly that structure, parameterised
+//! (engine speed, table placement, CAN handling on CPU vs PCP) so sweeps
+//! and partitioning studies have knobs to turn; [`variants`] adds a
+//! transmission-flavoured and a chassis-flavoured mix, and [`micro`]
+//! provides calibration microbenchmarks with known behaviour.
+
+pub mod engine;
+pub mod micro;
+pub mod variants;
+
+use audo_common::SimError;
+use audo_ed::EmulationDevice;
+use audo_platform::Soc;
+use audo_tricore::asm::assemble;
+use audo_tricore::Image;
+
+/// A PCP channel program plus its channel bindings.
+#[derive(Debug, Clone)]
+pub struct PcpProgram {
+    /// CMEM word offset to load at.
+    pub base: u16,
+    /// Encoded instruction words.
+    pub words: Vec<u32>,
+    /// `(channel, entry word)` bindings to enable.
+    pub channels: Vec<(u8, u16)>,
+}
+
+/// A ready-to-run workload: image, peripheral setup, optional PCP firmware.
+pub struct Workload {
+    /// Short identifier.
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// The assembled TriCore program.
+    pub image: Image,
+    /// Suggested cycle budget (the workload halts well before this).
+    pub max_cycles: u64,
+    /// Peripheral/interrupt-router configuration applied after load.
+    setup: Box<dyn Fn(&mut Soc) + Send + Sync>,
+    /// Optional PCP firmware.
+    pcp: Option<PcpProgram>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("max_cycles", &self.max_cycles)
+            .field("image_bytes", &self.image.size())
+            .field("has_pcp", &self.pcp.is_some())
+            .finish()
+    }
+}
+
+impl Workload {
+    /// Builds a workload from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the generated assembly does not assemble (a workload
+    /// generator bug).
+    pub fn from_source(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        source: &str,
+        max_cycles: u64,
+        setup: Box<dyn Fn(&mut Soc) + Send + Sync>,
+        pcp: Option<PcpProgram>,
+    ) -> Result<Workload, SimError> {
+        Ok(Workload {
+            name: name.into(),
+            description: description.into(),
+            image: assemble(source)?,
+            max_cycles,
+            setup,
+            pcp,
+        })
+    }
+
+    /// Loads the image, applies the peripheral setup and installs any PCP
+    /// firmware on a SoC.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the image does not fit the SoC's memories.
+    pub fn install(&self, soc: &mut Soc) -> Result<(), SimError> {
+        soc.load_image(&self.image)?;
+        (self.setup)(soc);
+        if let Some(pcp) = &self.pcp {
+            soc.pcp.load_program(pcp.base, &pcp.words);
+            for &(ch, entry) in &pcp.channels {
+                soc.pcp.setup_channel(ch, entry);
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs onto an Emulation Device.
+    ///
+    /// # Errors
+    ///
+    /// See [`Workload::install`].
+    pub fn install_ed(&self, ed: &mut EmulationDevice) -> Result<(), SimError> {
+        self.install(&mut ed.soc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audo_platform::config::SocConfig;
+
+    #[test]
+    fn workload_installs_and_runs() {
+        let w = micro::mac_kernel(100);
+        let mut soc = Soc::new(SocConfig::default());
+        w.install(&mut soc).unwrap();
+        let cycles = soc.run_to_halt(w.max_cycles).unwrap();
+        assert!(cycles > 100);
+    }
+
+    #[test]
+    fn debug_impl_is_informative() {
+        let w = micro::mac_kernel(10);
+        let s = format!("{w:?}");
+        assert!(s.contains("mac_kernel"));
+    }
+}

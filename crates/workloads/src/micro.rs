@@ -1,0 +1,440 @@
+//! Calibration microbenchmarks: small programs with known behaviour used to
+//! validate the measurement chain and to stress single subsystems.
+
+use audo_platform::Soc;
+
+use crate::Workload;
+
+fn plain(name: &str, description: &str, source: &str, max_cycles: u64) -> Workload {
+    let setup: Box<dyn Fn(&mut Soc) + Send + Sync> = Box::new(|_| {});
+    Workload::from_source(name, description, source, max_cycles, setup, None)
+        .expect("microbenchmark must assemble")
+}
+
+/// Tight multiply-accumulate loop: exercises the loop buffer and dual
+/// issue; expected steady-state IPC ≈ 2.
+#[must_use]
+pub fn mac_kernel(iterations: u32) -> Workload {
+    let src = format!(
+        "
+        .org 0x80000000
+    _start:
+        movi d0, 0
+        movi d4, 0
+        movi d1, 3
+        movi d2, 5
+        li d3, {iterations}
+        mov.a a3, d3
+        la a4, 0xD0000000
+    head:
+        mac d0, d1, d2          ; IP pipe
+        lea a4, a4, 1           ; LS pipe (co-issues)
+        mac d4, d1, d2          ; IP pipe, next cycle
+        loop a3, head           ; loop pipe (free once primed)
+        halt
+    "
+    );
+    plain(
+        "mac_kernel",
+        "tight MAC loop (loop-buffer / dual-issue exerciser)",
+        &src,
+        u64::from(iterations) * 12 + 100_000,
+    )
+}
+
+/// Streaming copy from SRAM to the DSPR: exercises the crossbar and the
+/// store path.
+#[must_use]
+pub fn stream_copy(words: u32) -> Workload {
+    let src = format!(
+        "
+        .org 0x80000000
+    _start:
+        la a2, 0x90000000
+        la a3, 0xD0001000
+        li d1, {words}
+    head:
+        ld.w d2, [a2+]4
+        st.w d2, [a3+]4
+        addi d1, d1, -1
+        jnz d1, head
+        halt
+    "
+    );
+    plain(
+        "stream_copy",
+        "SRAM to DSPR streaming copy (crossbar / store-path exerciser)",
+        &src,
+        u64::from(words) * 20 + 100_000,
+    )
+}
+
+/// Pointer chase over `nodes` chain nodes, one per flash line, optionally
+/// through the uncached segment: worst case for the flash read buffers.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+#[must_use]
+pub fn table_chase(nodes: u32, hops: u32, uncached: bool) -> Workload {
+    assert!(nodes > 0);
+    let alias = if uncached { 0x2000_0000u32 } else { 0 };
+    let mut src = format!(
+        "
+        .org 0x80000000
+    _start:
+        la a2, node0 + {alias:#x}
+        li d1, {hops}
+    head:
+        ld.a a2, [a2]
+        addi d1, d1, -1
+        jnz d1, head
+        halt
+        .align 64
+    "
+    );
+    for i in 0..nodes {
+        let next = (i + 1) % nodes;
+        src.push_str(&format!(
+            "node{i}: .word node{next} + {alias:#x}\n    .space 60\n"
+        ));
+    }
+    plain(
+        "table_chase",
+        "dependent pointer chase across flash lines (read-buffer worst case)",
+        &src,
+        u64::from(hops) * 40 + 200_000,
+    )
+}
+
+/// Call/return storm: `iterations` calls through a `depth`-deep call chain,
+/// exercising the context-save architecture's memory traffic.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero or greater than 16.
+#[must_use]
+pub fn call_storm(depth: u32, iterations: u32) -> Workload {
+    assert!((1..=16).contains(&depth), "CSA list supports depth 1..=16");
+    let mut src = format!(
+        "
+        .org 0x80000000
+    _start:
+        li d1, {iterations}
+    head:
+        call f0
+        addi d1, d1, -1
+        jnz d1, head
+        halt
+    "
+    );
+    for i in 0..depth {
+        if i + 1 < depth {
+            src.push_str(&format!("f{i}:\n    call f{}\n    ret\n", i + 1));
+        } else {
+            src.push_str(&format!("f{i}:\n    addi d2, d2, 1\n    ret\n"));
+        }
+    }
+    plain(
+        "call_storm",
+        "deep call/return chains (CSA spill/refill exerciser)",
+        &src,
+        u64::from(iterations) * u64::from(depth) * 40 + 200_000,
+    )
+}
+
+/// Long straight-line integer code from flash: exercises I-cache,
+/// sequential prefetch and fetch bandwidth.
+#[must_use]
+pub fn flash_streamer(blocks: u32, passes: u32) -> Workload {
+    let mut src = format!(
+        "
+        .org 0x80000000
+    _start:
+        li d7, {passes}
+    again:
+    "
+    );
+    for i in 0..blocks {
+        // 8 independent ALU ops per block, 32-bit encodings.
+        let r = 1 + (i % 6);
+        src.push_str(&format!(
+            "    add d{r}, d{r}, d0
+    xor d0, d0, d{r}
+    addi d{r}, d{r}, 3
+    sub d0, d0, d{r}
+    or d{r}, d{r}, d0
+    addi d0, d0, 1
+    and d{r}, d{r}, d0
+    addi d0, d0, -1
+",
+            r = r
+        ));
+    }
+    src.push_str(
+        "    addi d7, d7, -1
+    jz d7, done
+    j again                    ; 24-bit range (the block body is large)
+done:
+    halt
+",
+    );
+    plain(
+        "flash_streamer",
+        "long straight-line flash-resident code (fetch/prefetch exerciser)",
+        &src,
+        u64::from(blocks) * u64::from(passes) * 40 + 500_000,
+    )
+}
+
+/// Divide-heavy kernel: serializes the integer pipe.
+#[must_use]
+pub fn div_kernel(iterations: u32) -> Workload {
+    let src = format!(
+        "
+        .org 0x80000000
+    _start:
+        li d0, 1000000
+        movi d1, 7
+        li d2, {iterations}
+    head:
+        div d3, d0, d1
+        rem d4, d0, d1
+        add d0, d3, d4
+        addi d2, d2, -1
+        jnz d2, head
+        halt
+    "
+    );
+    plain(
+        "div_kernel",
+        "divide-bound kernel (integer-pipe serialization)",
+        &src,
+        u64::from(iterations) * 40 + 100_000,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audo_platform::config::SocConfig;
+
+    fn cycles_of(w: &Workload) -> u64 {
+        let mut soc = Soc::new(SocConfig::default());
+        w.install(&mut soc).unwrap();
+        soc.run_to_halt(w.max_cycles).expect("halts")
+    }
+
+    #[test]
+    fn mac_kernel_sustains_high_ipc() {
+        let w = mac_kernel(2000);
+        let mut soc = Soc::new(SocConfig::default());
+        w.install(&mut soc).unwrap();
+        let cycles = soc.run_to_halt(w.max_cycles).unwrap();
+        let ipc = soc.tricore.retired_total() as f64 / cycles as f64;
+        assert!(
+            ipc > 1.5,
+            "loop buffer + dual issue should sustain ~2 IPC, got {ipc:.2}"
+        );
+    }
+
+    #[test]
+    fn uncached_chase_is_much_slower_than_cached() {
+        let cached = cycles_of(&table_chase(8, 500, false));
+        let uncached = cycles_of(&table_chase(8, 500, true));
+        assert!(
+            uncached as f64 > cached as f64 * 1.5,
+            "uncached {uncached} vs cached {cached}"
+        );
+    }
+
+    #[test]
+    fn call_storm_touches_the_csa() {
+        let w = call_storm(8, 50);
+        let mut soc = Soc::new(SocConfig::default());
+        w.install(&mut soc).unwrap();
+        soc.run_to_halt(w.max_cycles).unwrap();
+        assert_eq!(
+            soc.tricore.arch().d[2],
+            50,
+            "innermost function ran once per iteration"
+        );
+    }
+
+    #[test]
+    fn div_kernel_is_execute_bound() {
+        let fast = cycles_of(&mac_kernel(1000));
+        let slow = cycles_of(&div_kernel(1000));
+        assert!(slow > fast, "divides must dominate ({slow} vs {fast})");
+    }
+
+    #[test]
+    fn flash_streamer_runs() {
+        let c = cycles_of(&flash_streamer(40, 5));
+        assert!(c > 1000);
+    }
+}
+
+/// A seeded random ALU/memory instruction mix: `len` instructions over
+/// registers `d0..d6` with loads/stores confined to a DSPR window, repeated
+/// `passes` times. Useful for architecture sweeps that must not overfit to
+/// a hand-written kernel.
+///
+/// The same `(seed, len, passes)` always produces the same program (the
+/// generator uses a seeded [`rand::rngs::StdRng`]).
+#[must_use]
+pub fn random_mix(seed: u64, len: u32, passes: u32) -> Workload {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut body = String::new();
+    for _ in 0..len {
+        // d7 is the pass counter; the mix uses d0..d6.
+        let a = rng.random_range(0..7u8);
+        let b = rng.random_range(0..7u8);
+        let c = rng.random_range(0..7u8);
+        let line = match rng.random_range(0..12u8) {
+            0 => format!("add d{a}, d{b}, d{c}"),
+            1 => format!("sub d{a}, d{b}, d{c}"),
+            2 => format!("xor d{a}, d{b}, d{c}"),
+            3 => format!("mul d{a}, d{b}, d{c}"),
+            4 => format!("min d{a}, d{b}, d{c}"),
+            5 => format!("sh d{a}, d{b}, d{c}"),
+            6 => format!("addi d{a}, d{b}, {}", rng.random_range(-2048i32..2048)),
+            7 => format!("shi d{a}, d{b}, {}", rng.random_range(-31i32..32)),
+            8 => format!("sel d{a}, d{b}, d{c}"),
+            9 => format!("clz d{a}, d{b}"),
+            10 => format!("ld.w d{a}, [a2+{}]", rng.random_range(0..64u32) * 4),
+            _ => format!("st.w d{a}, [a2+{}]", rng.random_range(0..64u32) * 4),
+        };
+        body.push_str("    ");
+        body.push_str(&line);
+        body.push('\n');
+    }
+    let src = format!(
+        "
+        .org 0x80000000
+    _start:
+        la a2, 0xD0000400
+        li d7, {passes}
+    again:
+{body}    addi d7, d7, -1
+        jz d7, done
+        j again
+    done:
+        halt
+    "
+    );
+    plain(
+        "random_mix",
+        "seeded random ALU/memory mix (sweep workload, anti-overfitting)",
+        &src,
+        u64::from(len) * u64::from(passes) * 30 + 500_000,
+    )
+}
+
+#[cfg(test)]
+mod random_mix_tests {
+    use super::*;
+    use audo_platform::config::SocConfig;
+
+    #[test]
+    fn random_mix_is_deterministic_per_seed() {
+        let a = random_mix(42, 200, 3);
+        let b = random_mix(42, 200, 3);
+        assert_eq!(a.image.sections()[0].bytes, b.image.sections()[0].bytes);
+        let c = random_mix(43, 200, 3);
+        assert_ne!(a.image.sections()[0].bytes, c.image.sections()[0].bytes);
+    }
+
+    #[test]
+    fn random_mix_runs_to_completion() {
+        for seed in [1u64, 2, 3] {
+            let w = random_mix(seed, 300, 2);
+            let mut soc = Soc::new(SocConfig::default());
+            w.install(&mut soc).unwrap();
+            let cycles = soc.run_to_halt(w.max_cycles).expect("halts");
+            assert!(cycles > 500);
+        }
+    }
+}
+
+/// Straight-line flash code interleaved with uncached flash-data reads:
+/// both PMU ports stay busy simultaneously, making the code/data port
+/// arbitration policy (§4) actually measurable.
+#[must_use]
+pub fn flash_duel(blocks: u32, passes: u32) -> Workload {
+    let mut src = format!(
+        "
+        .equ UNCACHED, 0x20000000
+        .org 0x80000000
+    _start:
+        la a2, dtab + UNCACHED
+        li d7, {passes}
+    again:
+    "
+    );
+    for i in 0..blocks {
+        let r = 1 + (i % 5);
+        // Each block: ALU work (code port) + an uncached data read whose
+        // line differs per block (data port).
+        src.push_str(&format!(
+            "    add d{r}, d{r}, d0
+    xor d0, d0, d{r}
+    ld.w d6, [a2+{off}]
+    add d0, d0, d6
+    addi d{r}, d{r}, 1
+    sub d0, d0, d{r}
+",
+            r = r,
+            off = (i % 32) * 64,
+        ));
+    }
+    src.push_str(
+        "    addi d7, d7, -1
+    jz d7, done
+    j again
+done:
+    halt
+    .align 64
+dtab:
+",
+    );
+    for i in 0..32 {
+        src.push_str(&format!("    .word {}\n    .space 60\n", i + 1));
+    }
+    plain(
+        "flash_duel",
+        "simultaneous flash code + uncached flash data traffic (port-arbitration exerciser)",
+        &src,
+        u64::from(blocks) * u64::from(passes) * 60 + 500_000,
+    )
+}
+
+#[cfg(test)]
+mod flash_duel_tests {
+    use super::*;
+    use audo_platform::config::{PortArbitration, SocConfig};
+
+    #[test]
+    fn arbitration_policy_changes_flash_duel_timing() {
+        let w = flash_duel(64, 20);
+        let run = |arb: PortArbitration| {
+            let mut cfg = SocConfig::default();
+            cfg.flash.arbitration = arb;
+            let mut soc = Soc::new(cfg);
+            soc.set_observation(false);
+            w.install(&mut soc).unwrap();
+            soc.run_to_halt(w.max_cycles).unwrap()
+        };
+        let code_first = run(PortArbitration::CodeFirst);
+        let data_first = run(PortArbitration::DataFirst);
+        let round_robin = run(PortArbitration::RoundRobin);
+        // The policies must be distinguishable on this workload (direction
+        // depends on the mix; the sweep's job is to measure it).
+        assert!(
+            code_first != data_first || code_first != round_robin,
+            "policies indistinguishable: {code_first} / {data_first} / {round_robin}"
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Application variants beyond engine control: the "same microcontroller,
+//! completely different purposes" point of the paper's introduction.
+
+use audo_common::Cycle;
+use audo_platform::irq::{srn, Service, SrnConfig};
+use audo_platform::Soc;
+
+use crate::Workload;
+
+/// Transmission-control flavour: shift-point decisions with divide-heavy
+/// ratio math and a 2-D shift map, timer-driven rather than
+/// crank-synchronous.
+#[must_use]
+pub fn transmission_control(shift_events: u32) -> Workload {
+    let map: Vec<String> = (0..64u32)
+        .map(|i| (800 + (i % 8) * 100 + (i / 8) * 50).to_string())
+        .collect();
+    let src = format!(
+        "
+        .equ STATE, 0xD0000300
+        .org 0x80000000
+    _start:
+        li d0, 0x80008000
+        mtcr biv, d0
+        enable
+    main_loop:
+        la a2, 0x90000200      ; moving average over the shift log
+        movi d1, 0
+        movi d2, 16
+    avg:
+        ld.w d3, [a2+]4
+        add d1, d1, d3
+        addi d2, d2, -1
+        jnz d2, avg
+        shi d1, d1, -4
+        la a3, STATE
+        st.w d1, [a3+8]
+        ld.w d4, [a3+0]
+        li d5, {shift_events}
+        jlt d4, d5, main_loop
+        halt
+
+        .org 0x80008000 + 6*32
+        j isr_tick
+
+        .org 0x80008000 + 0x400
+    isr_tick:                   ; per-tick shift decision
+        la a12, STATE
+        ld.w d8, [a12+0]
+        addi d8, d8, 1
+        st.w d8, [a12+0]
+        la a13, 0xD0000100      ; ADC buffer (speed, load)
+        ld.w d9, [a13+0]
+        ld.w d10, [a13+4]
+        addi d10, d10, 1        ; avoid /0
+        div d11, d9, d10        ; ratio = speed/load  (8-cycle divide)
+        andi d11, d11, 7
+        shi d12, d9, -9
+        andi d12, d12, 7
+        shi d13, d11, 3         ; idx = (ratio*8 + gear)*4
+        add d13, d13, d12
+        shi d13, d13, 2
+        li d14, shift_map
+        add d14, d14, d13
+        mov.a a14, d14
+        ld.w d13, [a14]
+        st.w d13, [a12+4]       ; shift point
+        andi d14, d8, 15        ; log ring
+        shi d14, d14, 2
+        li d11, 0x90000200
+        add d11, d11, d14
+        mov.a a15, d11
+        st.w d13, [a15]
+        rfe
+
+        .align 32
+    shift_map:
+        .word {map}
+    ",
+        shift_events = shift_events,
+        map = map.join(", "),
+    );
+    let setup: Box<dyn Fn(&mut Soc) + Send + Sync> = Box::new(|soc: &mut Soc| {
+        let now = Cycle::ZERO;
+        let f = &mut soc.fabric;
+        // Tick every 20k cycles.
+        f.stm.cmp[0] = 20_000;
+        f.stm.reload[0] = 20_000;
+        f.stm.irq_enable[0] = true;
+        f.adc.mmio_write(0x04, 3_000, now);
+        f.adc.mmio_write(0x08, 2, now);
+        f.adc.mmio_write(0x00, 1, now);
+        f.irq.configure(
+            srn::STM0,
+            SrnConfig {
+                prio: 6,
+                enabled: true,
+                service: Service::Cpu,
+            },
+        );
+        f.irq.configure(
+            srn::ADC,
+            SrnConfig {
+                prio: 1,
+                enabled: true,
+                service: Service::Dma { channel: 0 },
+            },
+        );
+        f.dma
+            .mmio_write(0x00, audo_platform::config::ADC_BASE.0 + 0x0C);
+        f.dma.mmio_write(0x04, 0xD000_0100);
+        f.dma.mmio_write(0x08, 8);
+        f.dma.mmio_write(0x10, 0);
+        f.dma.mmio_write(0x14, 4);
+        f.dma.mmio_write(0x0C, 3); // enabled, circular, no done SRN
+    });
+    Workload::from_source(
+        "transmission",
+        "transmission control: timer-driven shift decisions, divide-heavy ratio math",
+        &src,
+        u64::from(shift_events) * 25_000 + 500_000,
+        setup,
+        None,
+    )
+    .expect("transmission workload must assemble")
+}
+
+/// Chassis/airbag flavour: very high interrupt rate with tiny handlers —
+/// context-save overhead dominates.
+#[must_use]
+pub fn chassis_monitor(events: u32, sensor_period: u32) -> Workload {
+    let src = format!(
+        "
+        .equ STATE, 0xD0000380
+        .org 0x80000000
+    _start:
+        li d0, 0x80008000
+        mtcr biv, d0
+        enable
+    main_loop:
+        la a3, STATE
+        ld.w d4, [a3+0]
+        li d5, {events}
+        jlt d4, d5, main_loop
+        halt
+
+        .org 0x80008000 + 9*32
+        j isr_sensor
+
+        .org 0x80008000 + 0x400
+    isr_sensor:                 ; threshold check, almost no work
+        la a12, STATE
+        ld.w d8, [a12+0]
+        addi d8, d8, 1
+        st.w d8, [a12+0]
+        la a13, 0xD0000100
+        ld.w d9, [a13+0]
+        li d10, 3000
+        jlt d9, d10, sensor_ok
+        ld.w d11, [a12+4]
+        addi d11, d11, 1
+        st.w d11, [a12+4]       ; threshold crossing count
+    sensor_ok:
+        rfe
+    ",
+        events = events,
+    );
+    let period = sensor_period;
+    let setup: Box<dyn Fn(&mut Soc) + Send + Sync> = Box::new(move |soc: &mut Soc| {
+        let now = Cycle::ZERO;
+        let f = &mut soc.fabric;
+        f.stm.cmp[1] = period;
+        f.stm.reload[1] = period;
+        f.stm.irq_enable[1] = true;
+        f.adc.mmio_write(0x04, period / 2, now);
+        f.adc.mmio_write(0x08, 1, now);
+        f.adc.mmio_write(0x00, 1, now);
+        f.irq.configure(
+            srn::STM1,
+            SrnConfig {
+                prio: 9,
+                enabled: true,
+                service: Service::Cpu,
+            },
+        );
+        f.irq.configure(
+            srn::ADC,
+            SrnConfig {
+                prio: 1,
+                enabled: true,
+                service: Service::Dma { channel: 0 },
+            },
+        );
+        f.dma
+            .mmio_write(0x00, audo_platform::config::ADC_BASE.0 + 0x0C);
+        f.dma.mmio_write(0x04, 0xD000_0100);
+        f.dma.mmio_write(0x08, 4);
+        f.dma.mmio_write(0x10, 0);
+        f.dma.mmio_write(0x14, 4);
+        f.dma.mmio_write(0x0C, 3);
+    });
+    Workload::from_source(
+        "chassis",
+        "chassis monitor: very high interrupt rate, tiny handlers (context-save bound)",
+        &src,
+        u64::from(events) * u64::from(sensor_period) * 2 + 500_000,
+        setup,
+        None,
+    )
+    .expect("chassis workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audo_platform::config::SocConfig;
+
+    #[test]
+    fn transmission_computes_shift_points() {
+        let w = transmission_control(10);
+        let mut soc = Soc::new(SocConfig::default());
+        w.install(&mut soc).unwrap();
+        soc.run_to_halt(w.max_cycles).unwrap();
+        let ticks = soc.fabric.peek(audo_common::Addr(0xD000_0300), 4).unwrap();
+        assert_eq!(ticks, 10);
+        let shift = soc.fabric.peek(audo_common::Addr(0xD000_0304), 4).unwrap();
+        assert!(shift >= 800, "shift point from the map: {shift}");
+    }
+
+    #[test]
+    fn chassis_counts_sensor_events() {
+        let w = chassis_monitor(40, 2_000);
+        let mut soc = Soc::new(SocConfig::default());
+        w.install(&mut soc).unwrap();
+        soc.run_to_halt(w.max_cycles).unwrap();
+        let n = soc.fabric.peek(audo_common::Addr(0xD000_0380), 4).unwrap();
+        assert_eq!(n, 40);
+    }
+}

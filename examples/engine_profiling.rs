@@ -1,0 +1,80 @@
+//! The customer story (§5): profile a realistic engine-control application
+//! — crank ISR, OS tasks, ADC-DMA chain, CAN — measure all essential rates
+//! in parallel, find the hot spots, and attribute instructions to functions
+//! via program-flow reconstruction.
+//!
+//! ```text
+//! cargo run --example engine_profiling
+//! ```
+
+use audo_common::SimError;
+use audo_ed::{EdConfig, EmulationDevice};
+use audo_platform::config::SocConfig;
+use audo_profiler::metrics::Metric;
+use audo_profiler::reconstruct::{flat_profile, reconstruct_flow};
+use audo_profiler::render_report;
+use audo_profiler::session::{profile, SessionOptions};
+use audo_profiler::spec::{MetricRequest, ProfileSpec};
+use audo_workloads::engine::{engine_control, EngineParams};
+
+fn main() -> Result<(), SimError> {
+    let params = EngineParams {
+        rpm: 6000,
+        target_teeth: 40,
+        ..EngineParams::default()
+    };
+    let workload = engine_control(&params);
+    println!("=== engine profiling: {} ===", workload.name);
+    println!("{}\n", workload.description);
+
+    let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+    workload.install_ed(&mut ed)?;
+
+    // Parallel rates (one run!), plus a cascade: when IPC drops below 0.6,
+    // arm a fine-grained D-cache-miss probe, and full program trace for
+    // function attribution.
+    let spec = ProfileSpec::new()
+        .metric(Metric::Ipc, 2000)
+        .metric(Metric::IcacheHitRatio, 2000)
+        .metric(Metric::DcacheHitRatio, 2000)
+        .metric(Metric::InterruptsPerKilocycle, 2000)
+        .cascade(
+            Metric::Ipc,
+            0.6,
+            vec![MetricRequest {
+                metric: Metric::DcacheMissPerInstr,
+                window: 200,
+            }],
+        )
+        .with_program_trace()
+        .with_sync_every(16);
+
+    let opts = SessionOptions {
+        max_cycles: workload.max_cycles,
+        ..SessionOptions::default()
+    };
+    let outcome = profile(&mut ed, &spec, &opts)?;
+
+    println!(
+        "ran {} cycles ({} trace bytes, {:.1} bytes/kcycle, {} lost)\n",
+        outcome.cycles,
+        outcome.produced_bytes,
+        outcome.bytes_per_kilocycle(),
+        outcome.lost_bytes
+    );
+    print!("{}", render_report(&outcome.timeline, 0.6));
+
+    // Function-level attribution from the compressed program trace.
+    let rec = reconstruct_flow(&workload.image, &outcome.messages)?;
+    println!(
+        "\nprogram-flow reconstruction: {} instructions from {} flow messages",
+        rec.instr_count, rec.flow_messages
+    );
+    println!("{:<16} {:>12} {:>8}", "function", "instrs", "share");
+    for (name, instrs, share) in flat_profile(&rec).into_iter().take(8) {
+        println!("{name:<16} {instrs:>12} {share:>7.2}%");
+    }
+    println!("\nThe crank ISR and the background checksum dominate, exactly");
+    println!("the split a powertrain engineer would want to see quantified.");
+    Ok(())
+}

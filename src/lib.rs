@@ -1,0 +1,30 @@
+//! Umbrella crate for the `audo` stack: a simulated AUDO-class automotive
+//! SoC, its Emulation Device, and the Enhanced System Profiling /
+//! architecture-optimization methodology of Mayer & Hellwig (DATE 2008).
+//!
+//! This crate simply re-exports the workspace members under stable names;
+//! see the individual crates for the real documentation:
+//!
+//! * [`common`] — shared types, events, varints,
+//! * [`tricore`] — the TC-R CPU (ISA, assembler, pipeline),
+//! * [`pcp`] — the channel-programmed co-processor,
+//! * [`platform`] — flash/caches/crossbar/DMA/interrupts/peripherals/SoC,
+//! * [`mcds`] — the trigger/trace/rate-measurement block,
+//! * [`ed`] — the Emulation Device (SoC + MCDS + EMEM),
+//! * [`dap`] — the tool-link bandwidth model,
+//! * [`profiler`] — profiling sessions, timelines, analysis, optimization,
+//! * [`workloads`] — synthetic automotive applications.
+//!
+//! The `examples/` directory contains runnable walkthroughs
+//! (`quickstart`, `engine_profiling`, `architecture_study`,
+//! `calibration_session`).
+
+pub use audo_common as common;
+pub use audo_dap as dap;
+pub use audo_ed as ed;
+pub use audo_mcds as mcds;
+pub use audo_pcp as pcp;
+pub use audo_platform as platform;
+pub use audo_profiler as profiler;
+pub use audo_tricore as tricore;
+pub use audo_workloads as workloads;

@@ -1,0 +1,106 @@
+//! Determinism guarantees: identical configurations and workloads must
+//! produce bit-identical results — the property that makes replay-based
+//! option evaluation (E6/E7) and regression-style profiling meaningful.
+
+use audo_ed::{EdConfig, EmulationDevice};
+use audo_platform::config::SocConfig;
+use audo_profiler::metrics::Metric;
+use audo_profiler::session::{profile, SessionOptions};
+use audo_profiler::spec::ProfileSpec;
+use audo_workloads::engine::{engine_control, EngineParams};
+
+#[test]
+fn full_sessions_are_bit_identical() {
+    let run = || {
+        let p = EngineParams {
+            rpm: 6000,
+            target_teeth: 15,
+            ..EngineParams::default()
+        };
+        let w = engine_control(&p);
+        let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+        w.install_ed(&mut ed).unwrap();
+        let spec = ProfileSpec::new()
+            .metric(Metric::Ipc, 1000)
+            .metric(Metric::DcacheMissPerInstr, 1000)
+            .with_program_trace();
+        let out = profile(
+            &mut ed,
+            &spec,
+            &SessionOptions {
+                max_cycles: w.max_cycles,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        (
+            out.cycles,
+            out.produced_bytes,
+            out.timeline.to_csv(),
+            ed.soc.tricore.retired_total(),
+            ed.soc.tricore.arch().d,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "cycle counts");
+    assert_eq!(a.1, b.1, "trace bytes");
+    assert_eq!(a.2, b.2, "decoded timelines");
+    assert_eq!(a.3, b.3, "retired instructions");
+    assert_eq!(a.4, b.4, "architectural state");
+}
+
+#[test]
+fn observation_does_not_change_behaviour_under_any_spec() {
+    // Beyond the basic non-intrusiveness check: wildly different MCDS
+    // programming must never change target timing or results.
+    let p = EngineParams {
+        rpm: 12_000,
+        target_teeth: 10,
+        target_bg_passes: 6,
+        ..EngineParams::default()
+    };
+    let w = engine_control(&p);
+    let baseline = {
+        let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+        w.install_ed(&mut ed).unwrap();
+        let cycles = ed.run(w.max_cycles, |_| {}).unwrap();
+        (cycles, ed.soc.tricore.arch().d)
+    };
+    for spec in [
+        ProfileSpec::new().metric(Metric::Ipc, 50),
+        ProfileSpec::new()
+            .with_program_trace()
+            .with_pcp_trace()
+            .with_bus_trace(None),
+        ProfileSpec::new().metric(Metric::Ipc, 100).cascade(
+            Metric::Ipc,
+            0.9,
+            vec![audo_profiler::spec::MetricRequest {
+                metric: Metric::DcacheMissPerInstr,
+                window: 20,
+            }],
+        ),
+    ] {
+        let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+        w.install_ed(&mut ed).unwrap();
+        let out = profile(
+            &mut ed,
+            &spec,
+            &SessionOptions {
+                max_cycles: w.max_cycles,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            out.cycles, baseline.0,
+            "cycle count must not depend on observation"
+        );
+        assert_eq!(
+            ed.soc.tricore.arch().d,
+            baseline.1,
+            "results must not depend on observation"
+        );
+    }
+}

@@ -1,28 +1,170 @@
-//! Runs all experiments (E1–E12) and prints the combined report — the
-//! generator for EXPERIMENTS.md.
+//! Runs the paper experiments (E1–E15) and prints the combined report —
+//! the generator for EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release -p audo-bench --bin experiments
+//! cargo run --release -p audo-bench --bin experiments -- [options]
+//!
+//!   --jobs N        worker threads (default: available parallelism;
+//!                   report output is byte-identical for any N)
+//!   --filter IDS    run only these experiments, e.g. --filter E6 or
+//!                   --filter E2,E5,E9 (repeatable)
+//!   --json PATH     also write a machine-readable summary, e.g.
+//!                   --json BENCH_experiments.json
 //! ```
+//!
+//! Exit status: 0 all checks passed, 1 some check failed, 2 an experiment
+//! errored or the command line was invalid.
+
+use std::fmt::Write as _;
+
+struct Args {
+    jobs: usize,
+    filter: Vec<String>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        jobs: audo_bench::default_jobs(),
+        filter: Vec::new(),
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs: not a number: {v:?}"))?
+                    .max(1);
+            }
+            "--filter" => {
+                let v = it
+                    .next()
+                    .ok_or("--filter needs a value (e.g. E6 or E2,E5)")?;
+                args.filter.extend(
+                    v.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                );
+            }
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--jobs N] [--filter E1,E2,..] [--json PATH]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_summary(reports: &[audo_bench::TimedReport], jobs: usize, total_secs: f64) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(
+        out,
+        "  \"total_wall_clock_ms\": {:.3},",
+        total_secs * 1000.0
+    );
+    let passed: usize = reports
+        .iter()
+        .map(|t| t.report.checks.iter().filter(|c| c.pass).count())
+        .sum();
+    let total: usize = reports.iter().map(|t| t.report.checks.len()).sum();
+    let _ = writeln!(out, "  \"checks_passed\": {passed},");
+    let _ = writeln!(out, "  \"checks_total\": {total},");
+    out.push_str("  \"experiments\": [\n");
+    for (i, t) in reports.iter().enumerate() {
+        let failed: Vec<String> = t
+            .report
+            .checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| format!("\"{}\"", json_escape(&c.what)))
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"duration_ms\": {:.3}, \
+             \"checks_passed\": {}, \"checks_total\": {}, \"failed_checks\": [{}]}}",
+            json_escape(t.report.id),
+            json_escape(&t.report.title),
+            t.duration.as_secs_f64() * 1000.0,
+            t.report.checks.iter().filter(|c| c.pass).count(),
+            t.report.checks.len(),
+            failed.join(", ")
+        );
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let start = std::time::Instant::now();
-    match audo_bench::run_all() {
+    match audo_bench::run_selected(&args.filter, args.jobs) {
         Ok(reports) => {
-            let total: usize = reports.iter().map(|r| r.checks.len()).sum();
+            let total: usize = reports.iter().map(|t| t.report.checks.len()).sum();
             let passed: usize = reports
                 .iter()
-                .map(|r| r.checks.iter().filter(|c| c.pass).count())
+                .map(|t| t.report.checks.iter().filter(|c| c.pass).count())
                 .sum();
-            for r in &reports {
-                print!("{}", r.render());
+            for t in &reports {
+                print!("{}", t.report.render());
             }
+            let elapsed = start.elapsed().as_secs_f64();
             println!("---");
+            for t in &reports {
+                println!(
+                    "{:<5} {:>9.2}s  {}",
+                    t.report.id,
+                    t.duration.as_secs_f64(),
+                    if t.report.passed() { "ok" } else { "FAILED" }
+                );
+            }
             println!(
-                "{passed}/{total} checks passed across {} experiments in {:.1}s",
+                "{passed}/{total} checks passed across {} experiments in {elapsed:.1}s \
+                 ({} jobs)",
                 reports.len(),
-                start.elapsed().as_secs_f64()
+                args.jobs
             );
+            if let Some(path) = &args.json {
+                let body = json_summary(&reports, args.jobs, elapsed);
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!("wrote {path}");
+            }
             if passed != total {
                 std::process::exit(1);
             }

@@ -1136,29 +1136,91 @@ pub fn e12_fmodel() -> Result<Report, SimError> {
     Ok(r)
 }
 
-/// Runs every experiment in order.
+/// An experiment entry point.
+pub type ExperimentFn = fn() -> Result<Report, SimError>;
+
+/// The full experiment registry, in report order. Each entry pairs the
+/// experiment id (as matched by `--filter`) with its entry point; every
+/// experiment is self-contained and independently seeded, which is what
+/// lets [`run_selected`] schedule them concurrently.
+#[must_use]
+pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("E1", e1_platform as ExperimentFn),
+        ("E2", e2_ipc_timeline),
+        ("E3", e3_parallel_rates),
+        ("E4", e4_cascade),
+        ("E5", e5_bandwidth),
+        ("E6", e6_arch_sweep),
+        ("E7", e7_gain_cost),
+        ("E8", e8_partitioning),
+        ("E9", e9_trace),
+        ("E10", e10_calibration),
+        ("E11", e11_parallel_vs_serial),
+        ("E12", e12_fmodel),
+        ("E13", e13_mli_intrusiveness),
+        ("E14", e14_data_attribution),
+        ("E15", e15_software_optimization),
+    ]
+}
+
+/// One experiment's report plus its wall-clock duration.
+#[derive(Debug, Clone)]
+pub struct TimedReport {
+    /// The experiment's report.
+    pub report: Report,
+    /// How long the experiment ran.
+    pub duration: std::time::Duration,
+}
+
+/// Runs the registry experiments whose id is in `ids` (all of them when
+/// `ids` is empty) on up to `jobs` worker threads. Reports come back in
+/// registry order whatever the scheduling, so the rendered output is
+/// byte-identical to a `jobs = 1` run.
+///
+/// # Errors
+///
+/// Returns `SimError::InvalidConfig` for an unknown id; otherwise
+/// propagates the first simulation fault in registry order.
+pub fn run_selected(ids: &[String], jobs: usize) -> Result<Vec<TimedReport>, SimError> {
+    let all = registry();
+    let selected: Vec<(&'static str, ExperimentFn)> = if ids.is_empty() {
+        all
+    } else {
+        for id in ids {
+            if !all.iter().any(|(known, _)| known.eq_ignore_ascii_case(id)) {
+                return Err(SimError::InvalidConfig {
+                    message: format!("unknown experiment id {id:?} (known: E1..E{})", all.len()),
+                });
+            }
+        }
+        all.into_iter()
+            .filter(|(id, _)| ids.iter().any(|want| want.eq_ignore_ascii_case(id)))
+            .collect()
+    };
+    let outcomes = crate::scheduler::run_jobs(selected.len(), jobs, |i| selected[i].1());
+    outcomes
+        .into_iter()
+        .map(|job| {
+            job.output.map(|report| TimedReport {
+                report,
+                duration: job.duration,
+            })
+        })
+        .collect()
+}
+
+/// Runs every experiment in order, sequentially (compatibility wrapper —
+/// the `experiments` binary uses [`run_selected`] with a worker pool).
 ///
 /// # Errors
 ///
 /// Propagates the first simulation fault.
 pub fn run_all() -> Result<Vec<Report>, SimError> {
-    Ok(vec![
-        e1_platform()?,
-        e2_ipc_timeline()?,
-        e3_parallel_rates()?,
-        e4_cascade()?,
-        e5_bandwidth()?,
-        e6_arch_sweep()?,
-        e7_gain_cost()?,
-        e8_partitioning()?,
-        e9_trace()?,
-        e10_calibration()?,
-        e11_parallel_vs_serial()?,
-        e12_fmodel()?,
-        e13_mli_intrusiveness()?,
-        e14_data_attribution()?,
-        e15_software_optimization()?,
-    ])
+    Ok(run_selected(&[], 1)?
+        .into_iter()
+        .map(|t| t.report)
+        .collect())
 }
 
 // ======================================================================

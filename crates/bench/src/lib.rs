@@ -10,6 +10,8 @@
 
 pub mod experiments;
 pub mod report;
+pub mod scheduler;
 
 pub use experiments::*;
 pub use report::{Check, Report};
+pub use scheduler::{default_jobs, run_jobs, TimedJob};

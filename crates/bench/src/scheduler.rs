@@ -1,0 +1,130 @@
+//! Parallel, deterministic experiment execution.
+//!
+//! Experiments E1–E15 are self-contained: each builds its own SoC /
+//! Emulation Device from an explicit configuration and seeds its own
+//! pseudo-random inputs, so they can run concurrently without observing
+//! each other. This module schedules them over a capped pool of
+//! `std::thread::scope` workers, times each one, and returns the results
+//! **in submission order** — the rendered report stream is byte-identical
+//! to a sequential (`--jobs 1`) run regardless of how the OS interleaves
+//! the workers (see `crates/bench/tests/parallel_determinism.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default worker-pool size: the machine's available parallelism.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// One finished job: the closure's output plus its wall-clock duration.
+#[derive(Debug, Clone)]
+pub struct TimedJob<T> {
+    /// What the job returned.
+    pub output: T,
+    /// Wall-clock time the job spent running (excludes queue wait).
+    pub duration: Duration,
+}
+
+/// Runs `count` indexed jobs on up to `jobs` worker threads and returns
+/// the timed results in index order.
+///
+/// Work is handed out through a shared atomic cursor, so an expensive job
+/// never blocks cheap ones behind it; results land in per-index slots, so
+/// completion order cannot leak into the output. With `jobs <= 1` (or a
+/// single job) everything runs inline on the caller's thread.
+pub fn run_jobs<T, F>(count: usize, jobs: usize, run: F) -> Vec<TimedJob<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let timed = |i: usize| {
+        let start = Instant::now();
+        let output = run(i);
+        TimedJob {
+            output,
+            duration: start.elapsed(),
+        }
+    };
+    let workers = jobs.max(1).min(count);
+    if workers <= 1 {
+        return (0..count).map(timed).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<TimedJob<T>>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let out = timed(i);
+                *slots[i].lock().expect("job slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot poisoned")
+                .expect("every index was claimed and stored")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_submission_order() {
+        // Jobs finish deliberately out of order; outputs must not.
+        let out = run_jobs(32, 8, |i| {
+            std::thread::sleep(Duration::from_micros(((i * 11) % 7) as u64 * 50));
+            i * 3
+        });
+        let values: Vec<usize> = out.iter().map(|j| j.output).collect();
+        assert_eq!(values, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let seq: Vec<u64> = run_jobs(50, 1, f).into_iter().map(|j| j.output).collect();
+        let par: Vec<u64> = run_jobs(50, 6, f).into_iter().map(|j| j.output).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn jobs_cap_is_respected() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        run_jobs(24, 3, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "more than 3 jobs ran at once"
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(run_jobs(0, 4, |i| i).is_empty());
+        let one = run_jobs(1, 4, |i| i + 9);
+        assert_eq!(one[0].output, 9);
+    }
+
+    #[test]
+    fn durations_are_recorded() {
+        let out = run_jobs(2, 2, |_| std::thread::sleep(Duration::from_millis(5)));
+        assert!(out.iter().all(|j| j.duration >= Duration::from_millis(4)));
+    }
+}

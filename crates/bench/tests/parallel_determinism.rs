@@ -1,0 +1,61 @@
+//! The scheduling guarantee of the experiment engine: rendered report
+//! output is byte-identical no matter how many worker threads run the
+//! experiments. Uses the fast subset of experiments so the test stays
+//! cheap; the heavy ones go through the identical code path.
+
+use audo_bench::run_selected;
+
+const FAST: &[&str] = &["E2", "E5", "E9", "E11"];
+
+fn render_all(jobs: usize) -> String {
+    let ids: Vec<String> = FAST.iter().map(|s| s.to_string()).collect();
+    run_selected(&ids, jobs)
+        .expect("experiments run")
+        .iter()
+        .map(|t| t.report.render())
+        .collect()
+}
+
+#[test]
+fn parallel_reports_match_sequential_byte_for_byte() {
+    let sequential = render_all(1);
+    let parallel = render_all(4);
+    assert_eq!(sequential, parallel);
+    // And the output is real: every requested experiment is present, in
+    // registry order.
+    let mut last = 0;
+    for id in FAST {
+        let pos = sequential
+            .find(&format!("## {id} "))
+            .unwrap_or_else(|| panic!("{id} missing from report"));
+        assert!(pos >= last, "{id} out of registry order");
+        last = pos;
+    }
+}
+
+#[test]
+fn filter_order_is_registry_order_not_argument_order() {
+    let forward = run_selected(&["E2".into(), "E9".into()], 2).expect("run");
+    let backward = run_selected(&["E9".into(), "E2".into()], 2).expect("run");
+    let ids = |v: &[audo_bench::TimedReport]| {
+        v.iter()
+            .map(|t| t.report.id.to_string())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(ids(&forward), vec!["E2", "E9"]);
+    assert_eq!(ids(&forward), ids(&backward));
+}
+
+#[test]
+fn unknown_filter_id_is_rejected() {
+    let err = run_selected(&["E99".into()], 1).expect_err("unknown id must fail");
+    let msg = err.to_string();
+    assert!(msg.contains("E99"), "error should name the bad id: {msg}");
+}
+
+#[test]
+fn filter_ids_are_case_insensitive() {
+    let reports = run_selected(&["e5".into()], 1).expect("lower-case id accepted");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].report.id, "E5");
+}

@@ -90,7 +90,10 @@ impl GenerationPlan {
 /// the combined next-generation configuration on all workloads.
 ///
 /// `runner(config, workload_index)` executes workload `i` on `config` and
-/// returns the cycle count.
+/// returns the cycle count. The (option × workload) replay grid is run in
+/// parallel — workloads fan out here and each study fans its option
+/// replays out in [`evaluate_options`] — with results collected in input
+/// order, so the plan is identical to a sequential run.
 ///
 /// # Errors
 ///
@@ -101,17 +104,18 @@ pub fn plan_next_generation<F>(
     options: &[ArchOption],
     cost_model: &CostModel,
     plan: &GenerationPlanOptions,
-    mut runner: F,
+    runner: F,
 ) -> Result<GenerationPlan, SimError>
 where
-    F: FnMut(&SocConfig, usize) -> Result<u64, SimError>,
+    F: Fn(&SocConfig, usize) -> Result<u64, SimError> + Sync,
 {
     // Per-workload option studies.
-    let mut studies = Vec::new();
-    for (i, name) in workload_names.iter().enumerate() {
-        let study = evaluate_options(baseline, options, cost_model, None, |cfg| runner(cfg, i))?;
-        studies.push((name.clone(), study));
-    }
+    let studies = crate::par::par_map_indexed(workload_names.len(), |i| {
+        evaluate_options(baseline, options, cost_model, None, |cfg| runner(cfg, i))
+            .map(|study| (workload_names[i].clone(), study))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     let ranking = cross_workload_ranking(&studies, plan.regression_tolerance);
 
     // Greedy adoption: safe options by gain/cost, within budget and count.
@@ -130,13 +134,19 @@ where
         total_cost += row.cost;
     }
 
-    // Validate the combination (options can interact).
-    let mut combined_speedups = Vec::new();
-    for (i, name) in workload_names.iter().enumerate() {
+    // Validate the combination (options can interact); one replay per
+    // workload, again fanned out and collected in order.
+    let combined_speedups = crate::par::par_map_indexed(workload_names.len(), |i| {
         let before = studies[i].1.baseline_cycles;
-        let after = runner(&next_config, i)?;
-        combined_speedups.push((name.clone(), before as f64 / after.max(1) as f64));
-    }
+        runner(&next_config, i).map(|after| {
+            (
+                workload_names[i].clone(),
+                before as f64 / after.max(1) as f64,
+            )
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     Ok(GenerationPlan {
         next_config,
         adopted,

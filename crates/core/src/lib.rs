@@ -62,6 +62,7 @@ pub mod bandwidth;
 pub mod generation;
 pub mod metrics;
 pub mod options;
+pub mod par;
 pub mod reconstruct;
 pub mod session;
 pub mod spec;

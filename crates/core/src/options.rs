@@ -317,27 +317,33 @@ impl OptionStudy {
 /// configurations, ranks by gain/cost.
 ///
 /// `runner` executes the workload on a configuration and returns the cycle
-/// count (typically: build a SoC, load the same image, run to halt).
+/// count (typically: build a SoC, load the same image, run to halt). The
+/// per-option replays are independent, so each runs on its own worker
+/// thread ([`crate::par`]); results are collected in option order, which
+/// keeps the study — and anything rendered from it — deterministic.
 ///
 /// # Errors
 ///
-/// Propagates runner failures.
+/// Propagates runner failures (the first failing option in option order).
 pub fn evaluate_options<F>(
     baseline: &SocConfig,
     options: &[ArchOption],
     cost_model: &CostModel,
     profile: Option<&MeasuredProfile>,
-    mut runner: F,
+    runner: F,
 ) -> Result<OptionStudy, SimError>
 where
-    F: FnMut(&SocConfig) -> Result<u64, SimError>,
+    F: Fn(&SocConfig) -> Result<u64, SimError> + Sync,
 {
     let baseline_cycles = runner(baseline)?;
-    let mut evaluations = Vec::new();
-    for opt in options {
+    let replays = crate::par::par_map(options, |opt| {
         let mut cfg = baseline.clone();
         opt.apply(&mut cfg);
-        let cycles = runner(&cfg)?;
+        runner(&cfg)
+    });
+    let mut evaluations = Vec::new();
+    for (opt, replay) in options.iter().zip(replays) {
+        let cycles = replay?;
         let speedup = baseline_cycles as f64 / cycles.max(1) as f64;
         let gain = 1.0 - cycles as f64 / baseline_cycles.max(1) as f64;
         let cost = cost_model.cost(baseline, opt);

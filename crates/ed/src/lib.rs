@@ -35,7 +35,7 @@ use audo_platform::config::{SocConfig, EMEM_BASE};
 use audo_platform::fabric::OvcEntry;
 use audo_platform::soc::{CycleObservation, Soc};
 
-pub use trace_ctrl::{TraceController, TraceMode};
+pub use trace_ctrl::{Placement, TraceController, TraceMode};
 
 /// Emulation Extension Chip configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]

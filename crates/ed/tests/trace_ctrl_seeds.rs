@@ -1,0 +1,145 @@
+//! Deterministic replays of the inputs named by the committed proptest
+//! regression seed for `prop_trace_ctrl.rs` (`ops = [Push(1), Push(92)],
+//! capacity = 1, ring = true`), pinned as plain unit tests so the exact
+//! scenario keeps running even if the property strategies evolve.
+//!
+//! The surrounding sweeps cover the same failure surface the shrink points
+//! at: ring-mode pushes far larger than a tiny capacity, at capacities 1–4.
+
+use audo_ed::{Placement, TraceController, TraceMode};
+
+fn placed(placements: &[Placement]) -> u64 {
+    placements.iter().map(|p| u64::from(p.len)).sum()
+}
+
+fn assert_placements_in_region(placements: &[Placement], capacity: u32) {
+    assert!(placements.len() <= 2, "at most one wrap per operation");
+    for p in placements {
+        assert!(p.len > 0, "no empty placements");
+        assert!(
+            u64::from(p.region_offset) + u64::from(p.len) <= u64::from(capacity),
+            "placement [{}..+{}] escapes region of {capacity}",
+            p.region_offset,
+            p.len
+        );
+    }
+    if placements.len() == 2 {
+        assert_eq!(placements[1].region_offset, 0, "wrap lands at offset 0");
+    }
+}
+
+/// The committed regression input, step by step.
+#[test]
+fn seed_push1_push92_capacity1_ring() {
+    let mut tc = TraceController::new(1, TraceMode::Ring);
+
+    // Push(1): fits exactly; stored at offset 0, nothing lost.
+    let p1 = tc.push(1);
+    assert_placements_in_region(&p1, 1);
+    assert_eq!(placed(&p1), 1);
+    assert_eq!((tc.level(), tc.lost()), (1, 0));
+
+    // Push(92) into a full 1-byte ring: at most `capacity` bytes can land;
+    // the displaced byte and the excess are accounted as lost, and the
+    // level may never exceed capacity.
+    let p2 = tc.push(92);
+    assert_placements_in_region(&p2, 1);
+    assert!(placed(&p2) <= 1, "cannot place more than capacity");
+    assert!(tc.level() <= tc.capacity());
+
+    // The byte-accounting invariant the property asserts:
+    // pushed = popped + stored + lost.
+    let pushed = 1 + 92;
+    assert_eq!(pushed, tc.level() + tc.lost(), "pushed = stored + lost");
+
+    // Whatever is stored must still be poppable and balance afterwards.
+    let got = placed(&tc.pop(92));
+    assert_eq!(got, tc.capacity().min(1));
+    assert_eq!(pushed, got + tc.level() + tc.lost());
+}
+
+/// Ring-mode sweep at capacities 1–4: every push size from well below to
+/// far above capacity, with the full accounting invariant checked after
+/// each operation.
+#[test]
+fn ring_mode_oversized_pushes_capacities_1_to_4() {
+    for capacity in 1u32..=4 {
+        for push in [0u32, 1, 2, 3, 4, 5, 92, 200] {
+            let mut tc = TraceController::new(capacity, TraceMode::Ring);
+            let mut pushed = 0u64;
+            let mut popped = 0u64;
+            // Two pushes (the seed shape), interleaved level checks, then
+            // drain completely.
+            for n in [1, push] {
+                let pl = tc.push(n);
+                assert_placements_in_region(&pl, capacity);
+                assert!(placed(&pl) <= u64::from(n));
+                pushed += u64::from(n);
+                assert!(
+                    tc.level() <= tc.capacity(),
+                    "cap={capacity} push={n}: level {} > capacity",
+                    tc.level()
+                );
+            }
+            loop {
+                let got = placed(&tc.pop(3));
+                if got == 0 {
+                    break;
+                }
+                popped += got;
+            }
+            assert_eq!(
+                pushed,
+                popped + tc.level() + tc.lost(),
+                "cap={capacity} push={push}: accounting out of balance"
+            );
+            assert_eq!(tc.level(), 0, "fully drained");
+        }
+    }
+}
+
+/// A single push larger than capacity must clamp to the region, report the
+/// overflow as lost, and leave the controller usable.
+#[test]
+fn single_push_larger_than_capacity() {
+    for capacity in 1u32..=4 {
+        for mode in [TraceMode::Ring, TraceMode::Linear] {
+            let mut tc = TraceController::new(capacity, mode);
+            let pl = tc.push(capacity + 93);
+            assert_placements_in_region(&pl, capacity);
+            assert!(tc.level() <= tc.capacity());
+            assert_eq!(
+                u64::from(capacity + 93),
+                tc.level() + tc.lost(),
+                "cap={capacity} mode={mode:?}"
+            );
+            // Still usable afterwards: pop everything, push again.
+            let drained = placed(&tc.pop(capacity + 93));
+            assert_eq!(drained, tc.capacity().min(u64::from(capacity)));
+            let pl2 = tc.push(1);
+            assert_placements_in_region(&pl2, capacity);
+            assert_eq!(placed(&pl2), 1);
+        }
+    }
+}
+
+/// Ring mode at capacity 1 is the degenerate case the seed targets: every
+/// wrap lands on the same byte. Hammer it with a long mixed sequence.
+#[test]
+fn capacity_one_ring_long_sequence() {
+    let mut tc = TraceController::new(1, TraceMode::Ring);
+    let mut pushed = 0u64;
+    let mut popped = 0u64;
+    for i in 0u32..200 {
+        if i % 3 == 2 {
+            popped += placed(&tc.pop(1 + i % 4));
+        } else {
+            let n = i % 7;
+            let pl = tc.push(n);
+            assert_placements_in_region(&pl, 1);
+            pushed += u64::from(n);
+        }
+        assert!(tc.level() <= 1);
+        assert_eq!(pushed, popped + tc.level() + tc.lost());
+    }
+}

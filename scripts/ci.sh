@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the tier-1 verification the
+# roadmap defines (release build + full test suite). Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets --workspace -- -D warnings"
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests: cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI green."

@@ -1,0 +1,213 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach a crate registry, so the workspace
+//! vendors the property-testing subset its test-suite uses:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `boxed`, tuple strategies,
+//!   integer ranges, [`strategy::Just`], `any::<T>()` and
+//!   [`collection::vec`];
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, plus
+//!   [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and [`prop_assume!`];
+//! * a deterministic [`test_runner::TestRunner`] and `*.proptest-regressions`
+//!   seed persistence compatible with the committed regression-file format
+//!   (`cc <hex> # shrinks to ..`).
+//!
+//! Differences from the real crate, by design: cases are generated from a
+//! deterministic per-test seed (no OS entropy) so failures reproduce
+//! across runs and machines, and there is **no shrinking** — a failing
+//! case reports the generated input verbatim and persists its seed.
+//! Legacy `cc` hashes written by upstream proptest are replayed as seed
+//! material for this generator (the exact byte-encoded case cannot be
+//! reconstructed, so known bug inputs should also be pinned as plain unit
+//! tests — see e.g. `tests/golden_equivalence.rs`).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors for collections.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` values with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, size)
+    }
+}
+
+/// Generation of arbitrary values by type.
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Clone + std::fmt::Debug {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Mix edge values in with a small probability so tests
+                    // see boundaries more often than uniform sampling would.
+                    match rng.next_u64() % 16 {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+}
+
+/// The common imports every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union, ValueTree};
+    pub use crate::test_runner::{
+        Config as ProptestConfig, TestCaseError, TestCaseResult, TestRunner,
+    };
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// expands to a `#[test]` running the body over generated inputs, after
+/// replaying any committed `*.proptest-regressions` seeds.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run_persisted_test(
+                &config,
+                file!(),
+                stringify!($name),
+                &strategy,
+                |($($pat,)+)| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test (fails the case, with input
+/// reporting, instead of panicking outright).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two values compare equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two values compare unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($left), stringify!($right), left, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case (it is skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,341 @@
+//! Value-generation strategies: the composable core of the stand-in.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::{Reason, TestRng, TestRunner};
+
+/// A generated value wrapper. The real proptest shrinks through a tree of
+/// simpler values; this stand-in reports the generated input verbatim, so
+/// `simplify`/`complicate` always decline.
+pub trait ValueTree {
+    /// The value type produced.
+    type Value;
+
+    /// The current value.
+    fn current(&self) -> Self::Value;
+
+    /// Attempts to move to a simpler value (never succeeds here).
+    fn simplify(&mut self) -> bool {
+        false
+    }
+
+    /// Attempts to move back toward the failing value (never succeeds).
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+/// The trivial [`ValueTree`] holding one generated value.
+#[derive(Debug, Clone)]
+pub struct Node<T>(pub(crate) T);
+
+impl<T: Clone> ValueTree for Node<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// Something that can generate values of one type.
+pub trait Strategy {
+    /// The value type generated.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Draws one value wrapped in a [`ValueTree`] (real-proptest API shape).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in; the `Result` mirrors upstream.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Node<Self::Value>, Reason> {
+        Ok(Node(self.generate(runner.rng())))
+    }
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F, O>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map,
+            _output: PhantomData,
+        }
+    }
+
+    /// Erases the concrete strategy type (shared, cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A shared type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F, O> {
+    source: S,
+    map: F,
+    _output: PhantomData<fn() -> O>,
+}
+
+impl<S, F, O> Strategy for Map<S, F, O>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Chooses between alternative strategies, optionally weighted
+/// (the result of [`prop_oneof!`](crate::prop_oneof)).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Uniform choice over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Weighted choice over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    #[must_use]
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total_weight;
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return arm.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum to total_weight")
+    }
+}
+
+/// The result of [`collection::vec`](crate::collection::vec).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty length range");
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `any::<T>()` — the canonical whole-domain strategy for `T`.
+#[derive(Debug)]
+pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Creates the whole-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(12345)
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-2048i16..2048).generate(&mut r);
+            assert!((-2048..2048).contains(&v));
+            let u = (1u32..256).generate(&mut r);
+            assert!((1..256).contains(&u));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let s = (0u8..4, 0u8..4).prop_map(|(a, b)| format!("{a}{b}"));
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert_eq!(v.len(), 2);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let s = Union::new_weighted(vec![(9, Just(true).boxed()), (1, Just(false).boxed())]);
+        let mut r = rng();
+        let hits = (0..1000).filter(|_| s.generate(&mut r)).count();
+        assert!(hits > 700, "weighted arm dominates ({hits}/1000)");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let s = VecStrategy::new(0u8..10, 2..5);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = crate::collection::vec(0u32..1000, 1..20);
+        let a: Vec<_> = {
+            let mut r = TestRng::from_seed(7);
+            (0..10).map(|_| s.generate(&mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = TestRng::from_seed(7);
+            (0..10).map(|_| s.generate(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,402 @@
+//! The case runner: deterministic generation, regression-seed replay, and
+//! failure persistence.
+
+use std::fmt::Debug;
+use std::fs;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::strategy::Strategy;
+
+/// Why a strategy or case could not proceed.
+pub type Reason = String;
+
+/// The non-success outcomes of a single test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed for this input.
+    Fail(Reason),
+    /// The input did not satisfy an assumption; skip it.
+    Reject(Reason),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(reason: impl Into<Reason>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject(reason: impl Into<Reason>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Result type of one property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Run configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Upper bound on rejected cases before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Deterministic SplitMix64 generator used for all case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drives strategies; mirrors the real crate's API surface that the
+/// workspace uses (`deterministic()` + `Strategy::new_tree`).
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: TestRng,
+    config: Config,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration and a fixed seed.
+    #[must_use]
+    pub fn new(config: Config) -> TestRunner {
+        TestRunner {
+            rng: TestRng::from_seed(0x70_72_6f_70),
+            config,
+        }
+    }
+
+    /// A runner whose output is identical on every run.
+    #[must_use]
+    pub fn deterministic() -> TestRunner {
+        TestRunner::new(Config::default())
+    }
+
+    /// The runner's generator.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// The runner's configuration.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+}
+
+enum CaseOutcome {
+    Pass,
+    Reject,
+    Fail(String, String),
+}
+
+fn run_case<S, F>(strategy: &S, test: &mut F, seed: u64) -> CaseOutcome
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> TestCaseResult,
+{
+    let mut rng = TestRng::from_seed(seed);
+    let value = strategy.generate(&mut rng);
+    let shown = format!("{value:?}");
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(TestCaseError::Reject(_))) => CaseOutcome::Reject,
+        Ok(Err(TestCaseError::Fail(reason))) => CaseOutcome::Fail(reason, shown),
+        Err(panic) => {
+            let reason = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("test panicked")
+                .to_string();
+            CaseOutcome::Fail(reason, shown)
+        }
+    }
+}
+
+/// FNV-1a over a byte string; used to derive stable per-test seeds and to
+/// fold legacy (upstream-proptest) regression hashes into seed material.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Locates `<test file>.proptest-regressions` next to the test source.
+///
+/// `source_file` comes from `file!()` and is workspace-relative, while the
+/// test binary may run from the workspace root or the package directory,
+/// so walk a few ancestors until the source file is found.
+fn persistence_path(source_file: &str) -> Option<PathBuf> {
+    for prefix in ["", "..", "../..", "../../.."] {
+        let candidate = if prefix.is_empty() {
+            PathBuf::from(source_file)
+        } else {
+            Path::new(prefix).join(source_file)
+        };
+        if candidate.is_file() {
+            return Some(candidate.with_extension("proptest-regressions"));
+        }
+    }
+    None
+}
+
+/// Parses persisted seeds: lines of the form `cc <hex> [# comment]`.
+///
+/// Seeds written by this stand-in are 16 hex digits and decode directly;
+/// longer hashes from upstream proptest are folded through FNV-1a so they
+/// still replay a deterministic case.
+fn read_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else {
+            continue;
+        };
+        let token = rest.split_whitespace().next().unwrap_or("");
+        if token.is_empty() || !token.bytes().all(|b| b.is_ascii_hexdigit()) {
+            continue;
+        }
+        let seed = if token.len() <= 16 {
+            u64::from_str_radix(token, 16).unwrap_or_else(|_| fnv1a(token.as_bytes()))
+        } else {
+            fnv1a(token.as_bytes())
+        };
+        seeds.push(seed);
+    }
+    seeds
+}
+
+fn persist_failure(path: Option<&Path>, seed: u64, shown: &str) {
+    let Some(path) = path else { return };
+    let fresh = !path.exists();
+    let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) else {
+        return;
+    };
+    if fresh {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases.",
+        );
+    }
+    let first_line = shown.lines().next().unwrap_or(shown);
+    let _ = writeln!(f, "cc {seed:016x} # shrinks to {first_line}");
+}
+
+/// Runs one property test: replays persisted regression seeds, then runs
+/// `config.cases` freshly generated cases from a deterministic per-test
+/// seed. On failure the seed is persisted and the test panics with the
+/// offending input.
+///
+/// # Panics
+///
+/// Panics when a case fails (that is the test failing) or when too many
+/// cases in a row are rejected by `prop_assume!`.
+pub fn run_persisted_test<S, F>(
+    config: &Config,
+    source_file: &'static str,
+    test_name: &'static str,
+    strategy: &S,
+    mut test: F,
+) where
+    S: Strategy,
+    F: FnMut(S::Value) -> TestCaseResult,
+{
+    let persist = persistence_path(source_file);
+    let fail = |seed: u64, reason: String, shown: String, origin: &str| {
+        persist_failure(persist.as_deref(), seed, &shown);
+        panic!(
+            "proptest stand-in: {test_name} failed ({origin}, seed cc {seed:016x})\n\
+             input: {shown}\n{reason}"
+        );
+    };
+
+    if let Some(path) = persist.as_ref() {
+        for seed in read_seeds(path) {
+            match run_case(strategy, &mut test, seed) {
+                CaseOutcome::Pass | CaseOutcome::Reject => {}
+                CaseOutcome::Fail(reason, shown) => {
+                    fail(seed, reason, shown, "persisted regression seed");
+                }
+            }
+        }
+    }
+
+    let base = fnv1a(source_file.as_bytes()) ^ fnv1a(test_name.as_bytes()).rotate_left(32);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        attempt += 1;
+        match run_case(strategy, &mut test, seed) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest stand-in: {test_name} rejected too many cases \
+                     ({rejected} rejects for {passed} passes)"
+                );
+            }
+            CaseOutcome::Fail(reason, shown) => fail(seed, reason, shown, "generated case"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_completes() {
+        let config = Config {
+            cases: 50,
+            ..Config::default()
+        };
+        run_persisted_test(
+            &config,
+            "vendor/proptest/src/test_runner.rs",
+            "passing_property_completes_inner",
+            &(0u32..100),
+            |v| {
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("out of range"))
+                }
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest stand-in")]
+    fn failing_property_panics_with_input() {
+        let config = Config {
+            cases: 50,
+            ..Config::default()
+        };
+        // No persistence: point at a nonexistent source so nothing is written.
+        run_persisted_test(
+            &config,
+            "nonexistent-source-file.rs",
+            "failing_property",
+            &(0u32..100),
+            |v| {
+                if v < 5 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("too big"))
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn rejects_are_skipped() {
+        let config = Config {
+            cases: 20,
+            ..Config::default()
+        };
+        run_persisted_test(
+            &config,
+            "nonexistent-source-file.rs",
+            "rejects_are_skipped",
+            &(0u32..100),
+            |v| {
+                if v % 2 == 0 {
+                    Err(TestCaseError::reject("odd only"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn seed_lines_parse_both_formats() {
+        let dir = std::env::temp_dir().join("proptest-standin-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("seeds.proptest-regressions");
+        fs::write(
+            &path,
+            "# comment\n\
+             cc 00000000000000ff # shrinks to x = 3\n\
+             cc 9ffc2f6f6cddf943157b772245b71c7a30b80f77583e84c06ee88d6e5ba47191 # legacy\n\
+             not a seed line\n",
+        )
+        .unwrap();
+        let seeds = read_seeds(&path);
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[0], 0xff);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panicking_case_is_reported_as_failure() {
+        let outcome = run_case(
+            &(0u32..10),
+            &mut |_| -> TestCaseResult { panic!("boom") },
+            1,
+        );
+        match outcome {
+            CaseOutcome::Fail(reason, _) => assert!(reason.contains("boom")),
+            _ => panic!("expected failure outcome"),
+        }
+    }
+
+    #[test]
+    fn deterministic_runner_reproduces_values() {
+        let s = (0u64..1_000_000).prop_map(|v| v * 2);
+        let mut a = TestRunner::deterministic();
+        let mut b = TestRunner::deterministic();
+        for _ in 0..20 {
+            let va = s.new_tree(&mut a).unwrap();
+            let vb = s.new_tree(&mut b).unwrap();
+            use crate::strategy::ValueTree as _;
+            assert_eq!(va.current(), vb.current());
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach a crate registry, so the workspace
+//! vendors the tiny API subset it actually uses: the two marker traits and
+//! their derives. The derives expand to nothing and the traits carry
+//! blanket impls, which keeps `#[derive(Serialize, Deserialize)]` and any
+//! `T: Serialize` bound compiling without pulling in the real crate.
+//!
+//! If real serialization is ever needed, replace this stand-in with the
+//! genuine `serde` by restoring the registry dependency.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

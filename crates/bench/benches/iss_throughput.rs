@@ -1,0 +1,66 @@
+//! ISS throughput: decode-cache fast path vs. plain single-stepping.
+//!
+//! Measures the functional golden model only — no pipeline, no SoC — on
+//! the instruction-mix microbenchmarks from `audo-workloads`. Each
+//! workload is benchmarked twice, fast path off and on, over identical
+//! prepared ISS instances, so the pair difference isolates the cost of
+//! re-fetch/re-decode that the predecoded basic-block cache removes.
+//!
+//! Machine-readable results (and the speedup figure recorded in
+//! `BENCH_iss.json`) come from the `iss_bench` binary; see
+//! `scripts/bench.sh`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audo_common::Addr;
+use audo_tricore::iss::Iss;
+use audo_workloads::micro::{div_kernel, mac_kernel, random_mix, stream_copy};
+use audo_workloads::Workload;
+
+/// Prepares an ISS with the standard bench memory map and the workload
+/// image loaded, fast path configured as requested.
+fn prepared(w: &Workload, fast: bool) -> Iss {
+    let mut iss = Iss::new();
+    iss.map_region(Addr(0x8000_0000), 0x4_0000);
+    iss.map_region(Addr(0x9000_0000), 0x2_0000);
+    iss.map_region(Addr(0xD000_0000), 0x2_0000);
+    iss.init_csa(Addr(0xD000_8000), 64).unwrap();
+    iss.load(&w.image).unwrap();
+    iss.set_fast_path(fast);
+    iss
+}
+
+fn iss_throughput(c: &mut Criterion) {
+    let workloads = [
+        mac_kernel(2_000),
+        stream_copy(2_000),
+        div_kernel(500),
+        random_mix(7, 400, 40),
+    ];
+    let mut g = c.benchmark_group("iss_throughput");
+    for w in &workloads {
+        for fast in [false, true] {
+            let label = format!(
+                "{}_{}",
+                w.name,
+                if fast { "fast_path" } else { "slow_path" }
+            );
+            let base = prepared(w, fast);
+            g.bench_function(&label, |b| {
+                b.iter(|| {
+                    let run = base.clone().run(10_000_000).expect("runs");
+                    black_box(run.instr_count)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = iss_throughput
+}
+criterion_main!(benches);

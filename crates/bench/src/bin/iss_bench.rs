@@ -1,0 +1,136 @@
+//! Measures ISS throughput with the decode-cache fast path off vs. on and
+//! writes the machine-readable perf-trajectory point `BENCH_iss.json`.
+//!
+//! Usage: `iss_bench [--json PATH] [--reps N]`
+//!
+//! For each instruction-mix workload the program times `Iss::run` only
+//! (setup — assembly, memory mapping, image load — is excluded), takes the
+//! best of `N` repetitions to suppress scheduler noise, and reports
+//! retired instructions per wall-second plus the fast/slow speedup. The
+//! JSON is written by hand so the binary has no serializer dependency.
+
+use std::time::Instant;
+
+use audo_common::Addr;
+use audo_tricore::iss::Iss;
+use audo_workloads::micro::{div_kernel, mac_kernel, random_mix, stream_copy};
+use audo_workloads::Workload;
+
+struct Row {
+    name: String,
+    instrs: u64,
+    slow_ns: u128,
+    fast_ns: u128,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.slow_ns as f64 / self.fast_ns as f64
+    }
+    fn mips(&self, ns: u128) -> f64 {
+        self.instrs as f64 / (ns as f64 / 1e9) / 1e6
+    }
+}
+
+fn prepared(w: &Workload, fast: bool) -> Iss {
+    let mut iss = Iss::new();
+    iss.map_region(Addr(0x8000_0000), 0x4_0000);
+    iss.map_region(Addr(0x9000_0000), 0x2_0000);
+    iss.map_region(Addr(0xD000_0000), 0x2_0000);
+    iss.init_csa(Addr(0xD000_8000), 64).unwrap();
+    iss.load(&w.image).unwrap();
+    iss.set_fast_path(fast);
+    iss
+}
+
+/// Best-of-`reps` wall time of `Iss::run` alone, in nanoseconds, plus the
+/// retired-instruction count (identical across paths by construction).
+fn time_run(w: &Workload, fast: bool, reps: u32) -> (u128, u64) {
+    let mut best = u128::MAX;
+    let mut instrs = 0;
+    for _ in 0..reps {
+        let iss = prepared(w, fast);
+        let t0 = Instant::now();
+        let run = iss.run(50_000_000).expect("workload completes");
+        let dt = t0.elapsed().as_nanos().max(1);
+        best = best.min(dt);
+        instrs = run.instr_count;
+    }
+    (best, instrs)
+}
+
+fn main() {
+    let mut json_path = String::from("BENCH_iss.json");
+    let mut reps: u32 = 5;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .expect("--reps needs a count")
+                    .parse()
+                    .expect("--reps must be an integer")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let workloads = [
+        mac_kernel(20_000),
+        stream_copy(20_000),
+        div_kernel(5_000),
+        random_mix(7, 400, 400),
+    ];
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let (slow_ns, slow_instrs) = time_run(w, false, reps);
+        let (fast_ns, fast_instrs) = time_run(w, true, reps);
+        assert_eq!(
+            slow_instrs, fast_instrs,
+            "fast path must retire the same instruction count"
+        );
+        let row = Row {
+            name: w.name.clone(),
+            instrs: slow_instrs,
+            slow_ns,
+            fast_ns,
+        };
+        println!(
+            "{:<14} {:>9} instrs  slow {:>8.2} Mi/s  fast {:>8.2} Mi/s  speedup {:>5.2}x",
+            row.name,
+            row.instrs,
+            row.mips(row.slow_ns),
+            row.mips(row.fast_ns),
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let geomean = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    println!("geomean speedup: {geomean:.2}x");
+
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"iss_throughput\",\n");
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str("  \"note\": \"functional ISS, decode-cache fast path off vs on; best-of-reps wall time of Iss::run only; single-CPU container\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"instrs\": {}, \"slow_ns\": {}, \"fast_ns\": {}, \"slow_mips\": {:.3}, \"fast_mips\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.instrs,
+            r.slow_ns,
+            r.fast_ns,
+            r.mips(r.slow_ns),
+            r.mips(r.fast_ns),
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"geomean_speedup\": {geomean:.3}\n}}\n"));
+    std::fs::write(&json_path, out).expect("write BENCH json");
+    println!("wrote {json_path}");
+}

@@ -12,27 +12,64 @@ use crate::types::Addr;
 #[non_exhaustive]
 pub enum SimError {
     /// A memory access targeted an unmapped address.
-    UnmappedAddress { addr: Addr },
+    UnmappedAddress {
+        /// The offending byte address.
+        addr: Addr,
+    },
     /// A memory access was misaligned for its width.
-    MisalignedAccess { addr: Addr, size: u8 },
+    MisalignedAccess {
+        /// The offending byte address.
+        addr: Addr,
+        /// Access width in bytes (2 or 4).
+        size: u8,
+    },
     /// An instruction word could not be decoded.
-    DecodeInstr { addr: Addr, word: u32 },
+    DecodeInstr {
+        /// Address of the undecodable instruction.
+        addr: Addr,
+        /// The raw fetch word (16-bit encodings in the low half).
+        word: u32,
+    },
     /// Program assembly failed.
-    Assemble { line: usize, message: String },
+    Assemble {
+        /// 1-based source line of the failing statement.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
     /// A configuration value is invalid.
-    InvalidConfig { message: String },
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        message: String,
+    },
     /// MCDS resource allocation failed (not enough counters/comparators).
     ResourceExhausted {
+        /// Which resource class ran out (e.g. `"counters"`).
         resource: &'static str,
+        /// How many units the configuration asked for.
         requested: usize,
+        /// How many units the modeled hardware provides.
         available: usize,
     },
     /// The trace stream could not be decoded.
-    DecodeTrace { offset: usize, message: String },
+    DecodeTrace {
+        /// Byte offset into the trace stream where decoding failed.
+        offset: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
     /// A simulation limit was exceeded (runaway program guard).
-    LimitExceeded { what: &'static str, limit: u64 },
+    LimitExceeded {
+        /// Which limit tripped (e.g. `"instructions"`, `"cycles"`).
+        what: &'static str,
+        /// The configured limit value.
+        limit: u64,
+    },
     /// The target program signalled failure (e.g. failed self-check).
-    ProgramFault { message: String },
+    ProgramFault {
+        /// Human-readable description of the fault.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {

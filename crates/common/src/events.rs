@@ -195,59 +195,128 @@ pub enum FlowKind {
 pub enum PerfEvent {
     /// `count` instructions retired this cycle (0..=3 on the TriCore-class
     /// core; the tri-issue pipeline can retire up to three).
-    InstrRetired { count: u8 },
+    InstrRetired {
+        /// Number of instructions retired this cycle.
+        count: u8,
+    },
     /// A control-flow discontinuity retired: execution continued at `to`.
     FlowChange {
+        /// What class of discontinuity (branch, call, return, …).
         kind: FlowKind,
+        /// Address of the control-flow instruction itself.
         from: Addr,
+        /// Address execution continued at.
         to: Addr,
     },
     /// A conditional branch retired untaken (needed for trace reconstruction).
-    BranchNotTaken { at: Addr },
+    BranchNotTaken {
+        /// Address of the untaken branch instruction.
+        at: Addr,
+    },
     /// Cache lookup hit.
-    CacheHit { cache: CacheId },
+    CacheHit {
+        /// Which cache was looked up.
+        cache: CacheId,
+    },
     /// Cache lookup miss (a line fill follows).
-    CacheMiss { cache: CacheId },
+    CacheMiss {
+        /// Which cache was looked up.
+        cache: CacheId,
+    },
     /// A CPU data-side access classified by target memory region.
-    DataAccess { region: MemRegion, kind: AccessKind },
+    DataAccess {
+        /// Memory region the access targeted.
+        region: MemRegion,
+        /// Whether the access was a read or a write.
+        kind: AccessKind,
+    },
     /// A code fetch reached the flash (missed all caches/buffers in front).
     FlashCodeFetch,
     /// A flash access was served from a read/pre-fetch buffer.
-    FlashBufferHit { port: FlashPort },
+    FlashBufferHit {
+        /// The flash request port the access arrived on.
+        port: FlashPort,
+    },
     /// A flash access missed the read buffers and paid wait states.
-    FlashBufferMiss { port: FlashPort },
+    FlashBufferMiss {
+        /// The flash request port the access arrived on.
+        port: FlashPort,
+    },
     /// The flash prefetcher initiated a speculative line read.
     FlashPrefetch,
     /// Arbitration conflict between flash code and data ports; the loser
     /// waited `waited` cycles.
-    FlashPortConflict { loser: FlashPort, waited: u8 },
+    FlashPortConflict {
+        /// The port that lost arbitration.
+        loser: FlashPort,
+        /// Extra cycles the loser waited.
+        waited: u8,
+    },
     /// A bus master had to wait `waited` cycles for a busy slave.
-    BusContention { master: SourceId, waited: u8 },
+    BusContention {
+        /// The stalled bus master.
+        master: SourceId,
+        /// Cycles spent waiting for the grant.
+        waited: u8,
+    },
     /// A bus transaction was granted.
-    BusGrant { master: SourceId },
+    BusGrant {
+        /// The bus master that received the grant.
+        master: SourceId,
+    },
     /// A service request was raised by a peripheral (`srn` index).
-    IrqRaised { srn: u8, prio: u8 },
+    IrqRaised {
+        /// Service-request-node index.
+        srn: u8,
+        /// Priority programmed into the node.
+        prio: u8,
+    },
     /// The CPU accepted an interrupt of priority `prio`.
-    IrqTaken { prio: u8 },
+    IrqTaken {
+        /// Priority of the accepted interrupt.
+        prio: u8,
+    },
     /// The DMA controller moved one beat of data.
-    DmaBeat { channel: u8 },
+    DmaBeat {
+        /// DMA channel index.
+        channel: u8,
+    },
     /// A DMA transaction (descriptor) completed.
-    DmaDone { channel: u8 },
+    DmaDone {
+        /// DMA channel index.
+        channel: u8,
+    },
     /// The PCP switched execution to channel `channel`.
-    PcpChannelStart { channel: u8 },
+    PcpChannelStart {
+        /// PCP channel index.
+        channel: u8,
+    },
     /// The PCP finished the program of channel `channel`.
-    PcpChannelExit { channel: u8 },
+    PcpChannelExit {
+        /// PCP channel index.
+        channel: u8,
+    },
     /// A pipeline produced no retirement this cycle for the given reason.
-    Stall { reason: StallReason },
+    Stall {
+        /// Why no instruction retired.
+        reason: StallReason,
+    },
     /// A data value was written to memory (for qualified data trace).
     DataValue {
+        /// Byte address of the access.
         addr: Addr,
+        /// The value transferred (zero-extended to 32 bits).
         value: u32,
+        /// Whether the access was a read or a write.
         kind: AccessKind,
+        /// Access width in bytes.
         size: u8,
     },
     /// The core executed a DEBUG instruction (software trigger).
-    DebugMarker { code: u8 },
+    DebugMarker {
+        /// Immediate operand of the DEBUG instruction.
+        code: u8,
+    },
 }
 
 /// Which of the two flash request ports an event refers to.

@@ -27,6 +27,8 @@
 //! assert_eq!(Addr(0x8000_0000).offset(4), Addr(0x8000_0004));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod events;
 pub mod types;

@@ -20,6 +20,8 @@
 //! The `audo-ed` crate wires it to the simulated SoC and the emulation
 //! memory; the `audo-profiler` crate programs it and decodes its output.
 
+#![warn(missing_docs)]
+
 pub mod mcds;
 pub mod msg;
 pub mod rates;

@@ -122,6 +122,57 @@ impl McdsBuilder {
     ///
     /// Unlike state-machine [`Action::ArmGroup`], rules are independent of
     /// each other and of the state machine, so several cascades compose.
+    ///
+    /// This is the cascaded-measurement primitive of §5: a coarse,
+    /// always-armed probe steers when a fine-grained group is allowed to
+    /// burn trace bandwidth. Here a per-cycle stall probe (group 1) only
+    /// samples while the coarse IPC probe reads below 1.0:
+    ///
+    /// ```
+    /// use audo_common::{Cycle, EventRecord, PerfEvent, SourceId};
+    /// use audo_common::events::StallReason;
+    /// use audo_mcds::{Basis, Cond, EventClass, EventSelector, Mcds, RateProbe};
+    ///
+    /// let mut mcds = Mcds::builder()
+    ///     .probe(RateProbe {
+    ///         // Probe 0: coarse IPC over 10-cycle windows, always armed.
+    ///         event: EventSelector::of(EventClass::InstrRetired).from(SourceId::TRICORE),
+    ///         basis: Basis::Cycles(10),
+    ///         group: None,
+    ///     })
+    ///     .probe(RateProbe {
+    ///         // Probe 1: fine stall rate, only while group 1 is armed.
+    ///         event: EventSelector::of(EventClass::Stall(None)),
+    ///         basis: Basis::Cycles(2),
+    ///         group: Some(1),
+    ///     })
+    ///     .arm_group_when(Cond::RateBelow { probe: 0, num: 1, den: 1 }, 1)
+    ///     .build()?;
+    ///
+    /// let mut out = Vec::new();
+    /// // Cycles 0..40: IPC 2.0 — the fine probe stays disarmed.
+    /// for c in 0..40u64 {
+    ///     let ev = [EventRecord {
+    ///         cycle: Cycle(c),
+    ///         source: SourceId::TRICORE,
+    ///         event: PerfEvent::InstrRetired { count: 2 },
+    ///     }];
+    ///     mcds.observe(Cycle(c), &ev, &[], &mut out);
+    /// }
+    /// assert_eq!(mcds.probe_window(1), None, "fine probe gated off");
+    ///
+    /// // Cycles 40..80: stalls only — coarse IPC hits 0, group 1 arms.
+    /// for c in 40..80u64 {
+    ///     let ev = [EventRecord {
+    ///         cycle: Cycle(c),
+    ///         source: SourceId::TRICORE,
+    ///         event: PerfEvent::Stall { reason: StallReason::Data },
+    ///     }];
+    ///     mcds.observe(Cycle(c), &ev, &[], &mut out);
+    /// }
+    /// assert_eq!(mcds.probe_window(1), Some((2, 2)), "stalling every cycle");
+    /// # Ok::<(), audo_common::SimError>(())
+    /// ```
     #[must_use]
     pub fn arm_group_when(mut self, cond: crate::trigger::Cond, group: u8) -> McdsBuilder {
         self.arm_rules.push((cond, group));

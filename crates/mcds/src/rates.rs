@@ -45,6 +45,50 @@ impl Basis {
 }
 
 /// Configuration of one rate probe.
+///
+/// A probe pairs an event selector (the numerator) with a [`Basis`] (the
+/// denominator). §5's worked example — "4 instruction cache misses during
+/// the last 100 executed instructions respond to an instruction cache hit
+/// rate of 96%" — is one probe with an instruction basis:
+///
+/// ```
+/// use audo_common::{Cycle, EventRecord, PerfEvent, SourceId};
+/// use audo_common::events::CacheId;
+/// use audo_mcds::{Basis, EventClass, EventSelector, Mcds, RateProbe, TraceMessage};
+///
+/// let mut mcds = Mcds::builder()
+///     .probe(RateProbe {
+///         event: EventSelector::of(EventClass::IcacheMiss),
+///         // Event rates are measured per executed instruction, not per
+///         // cycle — "an instruction cache miss in clock cycle x is not a
+///         // meaningful information".
+///         basis: Basis::Instructions { source: SourceId::TRICORE, n: 100 },
+///         group: None,
+///     })
+///     .build()?;
+///
+/// // 50 cycles retiring 2 instructions each; 4 misses along the way.
+/// let mut out = Vec::new();
+/// for c in 0..50u64 {
+///     let mut ev = vec![EventRecord {
+///         cycle: Cycle(c),
+///         source: SourceId::TRICORE,
+///         event: PerfEvent::InstrRetired { count: 2 },
+///     }];
+///     if c % 25 == 0 {
+///         let miss = PerfEvent::CacheMiss { cache: CacheId::Instruction };
+///         ev.push(EventRecord { cycle: Cycle(c), source: SourceId::TRICORE, event: miss });
+///         ev.push(EventRecord { cycle: Cycle(c), source: SourceId::TRICORE, event: miss });
+///     }
+///     mcds.observe(Cycle(c), &ev, &[], &mut out);
+/// }
+///
+/// // One trace message per completed window: 4 misses / 100 instructions,
+/// // i.e. a 96% instruction-cache hit rate.
+/// let msgs = audo_mcds::decode_stream(&out)?;
+/// assert!(matches!(msgs[0].1, TraceMessage::Counter { num: 4, den: 100, .. }));
+/// # Ok::<(), audo_common::SimError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RateProbe {
     /// What to count (the numerator).

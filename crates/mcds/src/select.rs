@@ -34,7 +34,9 @@ pub enum EventClass {
     FlashPortConflict,
     /// Data accesses to a region (`None` kind = reads and writes).
     DataAccess {
+        /// Memory region the selector matches on.
         region: audo_common::events::MemRegion,
+        /// Restrict to reads or writes; `None` counts both.
         kind: Option<AccessKind>,
     },
     /// Crossbar contention events.

@@ -1,0 +1,262 @@
+//! Predecoded basic-block cache for the functional ISS fast path.
+//!
+//! The slow path of [`crate::iss::Iss`] re-fetches and re-decodes every
+//! instruction on every step. This module decodes each instruction **once**
+//! into its dense [`Instr`] form, groups straight-line runs into basic
+//! blocks terminated at control flow, serializing instructions, debug
+//! markers and `WAIT`/`HALT`, and lets the ISS dispatch a whole block
+//! without touching the fetch path again.
+//!
+//! Correctness hinges on invalidation: a block is only valid while the
+//! bytes it was decoded from are unchanged. Rather than snooping every
+//! store, each block records the write-generation counter of the memory
+//! region it was decoded from (see [`FlatMem::generation`]) and is
+//! re-validated on every entry. Any write into code memory — a
+//! self-modifying store or a calibration-overlay swap loaded over flash —
+//! bumps the counter and lazily invalidates all blocks in that region.
+//! This is the same observable-behavior discipline the paper demands of
+//! the on-chip trace hardware: the fast path must not change the event
+//! stream, only the wall-clock speed of producing it.
+
+use std::collections::HashMap;
+
+use audo_common::Addr;
+
+use crate::encode::decode;
+use crate::isa::Instr;
+use crate::mem::FlatMem;
+
+/// Longest straight-line run predecoded into a single block.
+///
+/// Blocks almost always end at a branch well before this; the cap bounds
+/// the work wasted when a block is invalidated by a code write.
+const MAX_BLOCK_LEN: usize = 64;
+
+/// One predecoded instruction within a block.
+#[derive(Debug, Clone, Copy)]
+pub struct CachedInstr {
+    /// Address the instruction was decoded from.
+    pub pc: u32,
+    /// Encoded length in bytes (2 or 4).
+    pub len: u8,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Whether the instruction is a plain store ([`Instr::is_plain_store`]).
+    ///
+    /// After executing such an instruction the ISS re-checks the block's
+    /// region generation: a store *into the current block* would otherwise
+    /// keep executing stale predecoded instructions.
+    pub may_store: bool,
+}
+
+/// A predecoded straight-line run of instructions.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Base address of the memory region the block was decoded from.
+    pub region: Addr,
+    /// Write generation of that region at fill time.
+    pub generation: u64,
+    /// The predecoded instructions, in program order.
+    pub instrs: Vec<CachedInstr>,
+}
+
+/// Hit/miss/invalidation counters for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Block lookups that found a valid predecoded block.
+    pub hits: u64,
+    /// Block lookups that had to decode a fresh block.
+    pub misses: u64,
+    /// Cached blocks discarded because their region had been written.
+    pub invalidations: u64,
+}
+
+/// Cache of predecoded basic blocks, keyed by start PC.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeCache {
+    blocks: HashMap<u32, Block>,
+    stats: CacheStats,
+}
+
+impl DecodeCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> DecodeCache {
+        DecodeCache::default()
+    }
+
+    /// Returns the accumulated hit/miss/invalidation counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of blocks currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the cache holds no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Drops every cached block (counters are kept).
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Looks up (or predecodes) the block starting at `pc`.
+    ///
+    /// Returns `None` when no block can be formed — `pc` unmapped, or the
+    /// first instruction fails to fetch/decode. The caller must then fall
+    /// back to single-stepping so the fault surfaces with exactly the slow
+    /// path's semantics. A cached block whose region generation no longer
+    /// matches memory is discarded and refilled transparently.
+    pub fn get_or_fill<'a>(&'a mut self, pc: u32, mem: &FlatMem) -> Option<&'a Block> {
+        if let Some(block) = self.blocks.get(&pc) {
+            if mem.generation(block.region) == Some(block.generation) {
+                self.stats.hits += 1;
+                // Re-borrow immutably to decouple the returned lifetime
+                // from the `get` above (borrow-checker friendly).
+                return self.blocks.get(&pc);
+            }
+            self.stats.invalidations += 1;
+            self.blocks.remove(&pc);
+        }
+        let block = fill_block(pc, mem)?;
+        self.stats.misses += 1;
+        Some(self.blocks.entry(pc).or_insert(block))
+    }
+}
+
+/// Predecodes the basic block starting at `pc`, or `None` if not even the
+/// first instruction is fetchable/decodable there.
+fn fill_block(pc: u32, mem: &FlatMem) -> Option<Block> {
+    let (region, region_len) = mem.region_span(Addr(pc))?;
+    let generation = mem.generation(Addr(pc))?;
+    let region_end = u64::from(region.0) + u64::from(region_len);
+    let mut instrs = Vec::new();
+    let mut cur = pc;
+    while instrs.len() < MAX_BLOCK_LEN {
+        // Mirror the slow path's fetch exactly: a 4-byte window, falling
+        // back to 2 bytes near the end of mapped memory.
+        let bytes = match mem
+            .read_bytes(Addr(cur), 4)
+            .or_else(|_| mem.read_bytes(Addr(cur), 2))
+        {
+            Ok(b) => b,
+            Err(_) => break,
+        };
+        let (instr, len) = match decode(&bytes, Addr(cur)) {
+            Ok(d) => d,
+            Err(_) => break,
+        };
+        // Never let a block leak past its region: bytes outside `region`
+        // are not covered by its generation counter.
+        if u64::from(cur) + u64::from(len) > region_end {
+            break;
+        }
+        let terminal = instr.is_control_flow()
+            || instr.is_serializing()
+            || matches!(instr, Instr::Debug { .. } | Instr::Wait | Instr::Halt);
+        instrs.push(CachedInstr {
+            pc: cur,
+            len,
+            instr,
+            may_store: instr.is_plain_store(),
+        });
+        if terminal {
+            break;
+        }
+        cur = cur.wrapping_add(u32::from(len));
+    }
+    if instrs.is_empty() {
+        return None;
+    }
+    Some(Block {
+        region,
+        generation,
+        instrs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn mem_with(src: &str) -> FlatMem {
+        let image = assemble(src).expect("assembles");
+        let mut mem = FlatMem::new();
+        mem.add_region(Addr(0x1000), 0x1000);
+        image.load_into(&mut mem).unwrap();
+        mem
+    }
+
+    #[test]
+    fn block_ends_at_control_flow() {
+        let mem = mem_with(
+            "
+            .org 0x1000
+            movi d0, 1
+            movi d1, 2
+            add  d2, d0, d1
+            j    done
+            movi d3, 99
+        done:
+            halt
+        ",
+        );
+        let mut cache = DecodeCache::new();
+        let block = cache.get_or_fill(0x1000, &mem).expect("fills");
+        // movi, movi, add, j — the jump terminates the block.
+        assert_eq!(block.instrs.len(), 4);
+        assert!(block.instrs[3].instr.is_control_flow());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_then_invalidate_on_code_write() {
+        let mem_src = "
+            .org 0x1000
+            movi d0, 1
+            halt
+        ";
+        let mut mem = mem_with(mem_src);
+        let mut cache = DecodeCache::new();
+        cache.get_or_fill(0x1000, &mem).expect("fills");
+        cache.get_or_fill(0x1000, &mem).expect("hits");
+        assert_eq!(cache.stats().hits, 1);
+        // Any write into the code region invalidates on next entry.
+        mem.write_byte(Addr(0x1800), 0xFF).unwrap();
+        cache.get_or_fill(0x1000, &mem).expect("refills");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+    }
+
+    #[test]
+    fn unmapped_pc_yields_none() {
+        let mem = FlatMem::new();
+        let mut cache = DecodeCache::new();
+        assert!(cache.get_or_fill(0x4000_0000, &mem).is_none());
+    }
+
+    #[test]
+    fn debug_wait_halt_terminate_blocks() {
+        let mem = mem_with(
+            "
+            .org 0x1000
+            movi d0, 1
+            debug 7
+            movi d1, 2
+            halt
+        ",
+        );
+        let mut cache = DecodeCache::new();
+        let block = cache.get_or_fill(0x1000, &mem).expect("fills");
+        assert_eq!(block.instrs.len(), 2, "debug marker ends the block");
+    }
+}

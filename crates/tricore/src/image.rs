@@ -144,6 +144,41 @@ impl Image {
         }
         Ok(())
     }
+
+    /// Writes only the sections overlapping `[base, base + len)` into a
+    /// functional memory — the calibration-overlay swap primitive.
+    ///
+    /// The paper's EMEM story patches alternative calibration data (and
+    /// occasionally code) over flash while the application keeps running.
+    /// This loads just the overlay window from `self`, leaving everything
+    /// outside it untouched. Writes go through the normal store path, so
+    /// the target region's generation counter is bumped and any predecoded
+    /// ISS blocks covering the window are invalidated on next entry.
+    ///
+    /// Returns the number of bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an overlapping byte lies outside mapped memory.
+    pub fn overlay_into<M: ArchMem>(
+        &self,
+        mem: &mut M,
+        base: Addr,
+        len: u32,
+    ) -> Result<usize, SimError> {
+        let window_end = u64::from(base.0) + u64::from(len);
+        let mut written = 0usize;
+        for s in &self.sections {
+            for (i, &b) in s.bytes.iter().enumerate() {
+                let addr = s.base.offset(i as u32);
+                if u64::from(addr.0) >= u64::from(base.0) && u64::from(addr.0) < window_end {
+                    mem.write(addr, 1, u32::from(b))?;
+                    written += 1;
+                }
+            }
+        }
+        Ok(written)
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +242,22 @@ mod tests {
         let by_addr = img.symbols_by_addr();
         assert_eq!(by_addr[0].1, "_start");
         assert_eq!(by_addr[2].1, "table");
+    }
+
+    #[test]
+    fn overlay_into_touches_only_the_window() {
+        use crate::mem::FlatMem;
+        let img = demo_image();
+        let mut mem = FlatMem::new();
+        mem.add_region(Addr(0x8000_0000), 0x200);
+        // Only the second section (two bytes at 0x8000_0100) overlaps.
+        let n = img.overlay_into(&mut mem, Addr(0x8000_0100), 0x10).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(mem.read_byte(Addr(0x8000_0100)).unwrap(), 9);
+        // First section untouched: still zero-initialised.
+        assert_eq!(mem.read_byte(Addr(0x8000_0000)).unwrap(), 0);
+        // The overlay bumped the region's write generation.
+        assert_eq!(mem.generation(Addr(0x8000_0000)), Some(2));
     }
 
     #[test]

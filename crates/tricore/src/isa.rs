@@ -448,6 +448,22 @@ impl Instr {
                 | Syscall { .. }
         )
     }
+
+    /// Returns `true` for plain data stores — instructions that write
+    /// memory without redirecting control flow (context-save traffic from
+    /// calls/returns is excluded; those are [`Instr::is_serializing`]).
+    ///
+    /// The ISS decode cache uses this to know when a predecoded basic
+    /// block must re-validate its memory generation mid-block: only a
+    /// plain store can silently overwrite code the block has yet to
+    /// execute.
+    #[must_use]
+    pub fn is_plain_store(&self) -> bool {
+        matches!(
+            self,
+            Instr::St { .. } | Instr::StWPostInc { .. } | Instr::StA { .. }
+        )
+    }
 }
 
 /// A reference to a register in either bank, for hazard tracking.

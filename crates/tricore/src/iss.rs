@@ -4,14 +4,48 @@
 //! per step, using the exact semantics of [`crate::exec::execute`]. The
 //! cycle-accurate pipeline must produce the same architectural results; the
 //! integration suite compares the two on random and hand-written programs.
+//!
+//! # The basic-block fast path
+//!
+//! By default every step re-fetches and re-decodes the instruction at the
+//! PC. With [`Iss::set_fast_path`] enabled, the ISS instead predecodes
+//! straight-line runs into basic blocks ([`crate::decode_cache`]) and
+//! dispatches whole blocks from the cache, skipping fetch and decode for
+//! every repeat execution. The fast path is **observationally identical**
+//! to slow stepping: architectural results, retired-instruction counts,
+//! debug markers, error behaviour and the emitted [`EventRecord`] stream
+//! are the same bit for bit — both paths funnel every retirement through
+//! one bookkeeping routine, and cached blocks are invalidated whenever
+//! the memory region they were decoded from is written (self-modifying
+//! code, calibration-overlay swaps).
+//!
+//! # Event observation
+//!
+//! With [`Iss::set_observation`] enabled the ISS emits a per-retirement
+//! [`EventRecord`] stream (`InstrRetired`, `FlowChange`, `BranchNotTaken`,
+//! `DebugMarker`, timestamped by retired-instruction index) suitable for
+//! feeding `audo-mcds` the same way the cycle-accurate pipeline does.
+//! Equivalence tests compare the stream fast-path-on vs. -off, both raw
+//! and after MCDS trace encoding.
 
-use audo_common::{Addr, SimError};
+use audo_common::{Addr, Cycle, EventRecord, EventSink, PerfEvent, SimError, SourceId};
 
 use crate::arch::{init_csa_list, ArchState};
+use crate::decode_cache::{CacheStats, CachedInstr, DecodeCache};
 use crate::encode::decode;
 use crate::exec::{execute, Outcome};
 use crate::image::Image;
 use crate::mem::FlatMem;
+
+/// Why a resumable run ([`Iss::run_resumable`]) returned without error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStop {
+    /// A `HALT` retired; the program is finished.
+    Halted,
+    /// A `WAIT` retired. The PC already points past it, so the host can
+    /// patch memory (e.g. swap a calibration overlay) and resume.
+    Waited,
+}
 
 /// Result of running a program to completion on the golden model.
 #[derive(Debug, Clone)]
@@ -24,6 +58,9 @@ pub struct IssRun {
     pub instr_count: u64,
     /// Debug marker codes in emission order.
     pub debug_markers: Vec<u8>,
+    /// Per-retirement event stream (empty unless [`Iss::set_observation`]
+    /// was enabled before the run).
+    pub events: Vec<EventRecord>,
 }
 
 /// The functional golden-model simulator.
@@ -56,6 +93,9 @@ pub struct Iss {
     instr_count: u64,
     debug_markers: Vec<u8>,
     halted: bool,
+    cache: Option<DecodeCache>,
+    block_buf: Vec<CachedInstr>,
+    events: EventSink,
 }
 
 impl Default for Iss {
@@ -74,6 +114,9 @@ impl Iss {
             instr_count: 0,
             debug_markers: Vec::new(),
             halted: false,
+            cache: None,
+            block_buf: Vec::new(),
+            events: EventSink::disabled(),
         }
     }
 
@@ -103,6 +146,44 @@ impl Iss {
         Ok(())
     }
 
+    /// Enables or disables the predecoded basic-block fast path.
+    ///
+    /// Off by default. Turning it off drops all cached blocks; turning it
+    /// on starts with an empty cache. Either way the observable behaviour
+    /// of [`Iss::run`] is unchanged — only its speed.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        if enabled {
+            if self.cache.is_none() {
+                self.cache = Some(DecodeCache::new());
+            }
+        } else {
+            self.cache = None;
+        }
+    }
+
+    /// Whether the basic-block fast path is enabled.
+    #[must_use]
+    pub fn fast_path_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Decode-cache hit/miss/invalidation counters, if the fast path is on.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(DecodeCache::stats)
+    }
+
+    /// Enables or disables per-retirement event emission.
+    ///
+    /// Off by default (runs allocate nothing for events). When on, each
+    /// retired instruction emits `InstrRetired { count: 1 }` — preceded by
+    /// `FlowChange`/`BranchNotTaken`/`DebugMarker` records where
+    /// applicable — with the retired-instruction index as the timestamp
+    /// and [`SourceId::TRICORE`] as the source.
+    pub fn set_observation(&mut self, enabled: bool) {
+        self.events.set_enabled(enabled);
+    }
+
     /// Direct access to the architectural state.
     #[must_use]
     pub fn state(&self) -> &ArchState {
@@ -120,7 +201,11 @@ impl Iss {
         &self.mem
     }
 
-    /// Mutable access to memory (for test setup).
+    /// Mutable access to memory (for test setup and overlay swaps).
+    ///
+    /// Writes through this handle bump the region's generation counter
+    /// like any other store, so cached decode blocks are invalidated
+    /// automatically.
     pub fn mem_mut(&mut self) -> &mut FlatMem {
         &mut self.mem
     }
@@ -131,7 +216,48 @@ impl Iss {
         self.halted
     }
 
-    /// Executes a single instruction.
+    /// Per-retirement bookkeeping shared by the slow and fast paths.
+    ///
+    /// Keeping this in one place is what makes the fast path
+    /// observationally identical by construction.
+    fn note_retired(&mut self, pc: u32, out: &Outcome) {
+        let at = Cycle(self.instr_count);
+        self.instr_count += 1;
+        if let Some(code) = out.debug {
+            self.debug_markers.push(code);
+        }
+        if out.halt {
+            self.halted = true;
+        }
+        if self.events.is_enabled() {
+            if let Some(flow) = out.flow {
+                self.events.emit(
+                    at,
+                    SourceId::TRICORE,
+                    PerfEvent::FlowChange {
+                        kind: flow.kind,
+                        from: Addr(pc),
+                        to: flow.target,
+                    },
+                );
+            }
+            if out.branch_taken == Some(false) {
+                self.events.emit(
+                    at,
+                    SourceId::TRICORE,
+                    PerfEvent::BranchNotTaken { at: Addr(pc) },
+                );
+            }
+            if let Some(code) = out.debug {
+                self.events
+                    .emit(at, SourceId::TRICORE, PerfEvent::DebugMarker { code });
+            }
+            self.events
+                .emit(at, SourceId::TRICORE, PerfEvent::InstrRetired { count: 1 });
+        }
+    }
+
+    /// Executes a single instruction (always via fetch+decode).
     ///
     /// # Errors
     ///
@@ -144,14 +270,92 @@ impl Iss {
             .or_else(|_| self.mem.read_bytes(Addr(pc), 2))?;
         let (instr, ilen) = decode(&bytes, Addr(pc))?;
         let out = execute(&mut self.state, &mut self.mem, &instr, pc, ilen)?;
-        self.instr_count += 1;
-        if let Some(code) = out.debug {
-            self.debug_markers.push(code);
-        }
-        if out.halt {
-            self.halted = true;
-        }
+        self.note_retired(pc, &out);
         Ok(out)
+    }
+
+    /// Executes one predecoded basic block (or a single slow step when no
+    /// block can be formed at the PC). Returns `true` if a `WAIT` retired.
+    fn step_block(&mut self, max_instrs: u64) -> Result<bool, SimError> {
+        let pc = self.state.pc;
+        let (region, generation) = {
+            let cache = self.cache.as_mut().expect("fast path enabled");
+            match cache.get_or_fill(pc, &self.mem) {
+                Some(block) => {
+                    self.block_buf.clear();
+                    self.block_buf.extend_from_slice(&block.instrs);
+                    (block.region, block.generation)
+                }
+                // Unmapped/undecodable PC: the slow step surfaces the
+                // fault with exactly the non-cached semantics.
+                None => return self.step().map(|out| out.wait),
+            }
+        };
+        for i in 0..self.block_buf.len() {
+            if self.instr_count >= max_instrs {
+                return Err(SimError::LimitExceeded {
+                    what: "instructions retired",
+                    limit: max_instrs,
+                });
+            }
+            let ci = self.block_buf[i];
+            debug_assert_eq!(self.state.pc, ci.pc, "block dispatch out of sync");
+            let out = execute(&mut self.state, &mut self.mem, &ci.instr, ci.pc, ci.len)?;
+            self.note_retired(ci.pc, &out);
+            if self.halted {
+                return Ok(false);
+            }
+            if out.wait {
+                return Ok(true);
+            }
+            // A plain store may have rewritten instructions later in this
+            // very block; if the code region's generation moved, bail to a
+            // fresh lookup at the (already updated) architectural PC.
+            if ci.may_store && self.mem.generation(region) != Some(generation) {
+                return Ok(false);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Runs until `HALT`, `WAIT`, or until `max_instrs` **total**
+    /// instructions have retired, then returns control to the caller with
+    /// the ISS intact.
+    ///
+    /// This is the resumable sibling of [`Iss::run`]: on
+    /// [`RunStop::Waited`] the caller may inspect state, patch memory
+    /// through [`Iss::mem_mut`] (a calibration-overlay swap, say — cached
+    /// decode blocks invalidate automatically), and call this again to
+    /// continue. `max_instrs` counts from reset, not from this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LimitExceeded`] if the limit is hit, or any
+    /// decode/memory fault.
+    pub fn run_resumable(&mut self, max_instrs: u64) -> Result<RunStop, SimError> {
+        while !self.halted {
+            if self.instr_count >= max_instrs {
+                return Err(SimError::LimitExceeded {
+                    what: "instructions retired",
+                    limit: max_instrs,
+                });
+            }
+            let wait = if self.cache.is_some() {
+                self.step_block(max_instrs)?
+            } else {
+                self.step()?.wait
+            };
+            if wait {
+                return Ok(RunStop::Waited);
+            }
+        }
+        Ok(RunStop::Halted)
+    }
+
+    /// Events collected so far (only meaningful with observation on).
+    #[must_use]
+    pub fn events(&self) -> &[EventRecord] {
+        self.events.records()
     }
 
     /// Runs until `HALT` or until `max_instrs` instructions have retired.
@@ -164,23 +368,13 @@ impl Iss {
     /// Returns [`SimError::LimitExceeded`] if the limit is hit, or any
     /// decode/memory fault.
     pub fn run(mut self, max_instrs: u64) -> Result<IssRun, SimError> {
-        while !self.halted {
-            if self.instr_count >= max_instrs {
-                return Err(SimError::LimitExceeded {
-                    what: "instructions retired",
-                    limit: max_instrs,
-                });
-            }
-            let out = self.step()?;
-            if out.wait {
-                break;
-            }
-        }
+        self.run_resumable(max_instrs)?;
         Ok(IssRun {
             state: self.state,
             mem: self.mem,
             instr_count: self.instr_count,
             debug_markers: self.debug_markers,
+            events: self.events.drain(),
         })
     }
 }
@@ -191,12 +385,18 @@ mod tests {
     use crate::asm::assemble;
 
     fn run_asm(src: &str) -> IssRun {
+        run_asm_configured(src, false, false)
+    }
+
+    fn run_asm_configured(src: &str, fast: bool, observe: bool) -> IssRun {
         let image = assemble(src).expect("assembles");
         let mut iss = Iss::new();
         iss.map_region(Addr(0x0000_1000), 0x4000);
         iss.map_region(Addr(0xD000_0000), 0x1_0000);
         iss.init_csa(Addr(0xD000_8000), 32).unwrap();
         iss.load(&image).expect("loads");
+        iss.set_fast_path(fast);
+        iss.set_observation(observe);
         iss.run(1_000_000).expect("runs")
     }
 
@@ -296,5 +496,118 @@ mod tests {
         ",
         );
         assert_eq!(run.state.d[1], 0xCAFE);
+    }
+
+    // ------------------------------------------------------------------
+    // Fast path
+    // ------------------------------------------------------------------
+
+    /// Programs exercising loops, calls, stores, debug markers and WAIT.
+    const EQUIVALENCE_PROGRAMS: &[&str] = &[
+        "
+            .org 0x1000
+            movi d0, 0
+            movi d1, 1
+            movi d2, 10
+        head:
+            add  d3, d0, d1
+            mov  d0, d1
+            mov  d1, d3
+            addi d2, d2, -1
+            jnz  d2, head
+            debug 9
+            halt
+        ",
+        "
+            .org 0x1000
+        _start:
+            la   sp, 0xD0004000
+            movi d4, 21
+            call double
+            halt
+        double:
+            add  d4, d4, d4
+            ret
+        ",
+        "
+            .org 0x1000
+            la   a2, 0xD0000100
+            li   d0, 0xCAFEBABE
+            st.w d0, [a2]
+            ld.hu d1, [a2+2]
+            debug 3
+            wait
+            halt
+        ",
+    ];
+
+    #[test]
+    fn fast_path_matches_slow_path_bit_for_bit() {
+        for src in EQUIVALENCE_PROGRAMS {
+            let slow = run_asm_configured(src, false, true);
+            let fast = run_asm_configured(src, true, true);
+            assert_eq!(slow.state, fast.state, "arch state\n{src}");
+            assert_eq!(slow.instr_count, fast.instr_count, "instr count\n{src}");
+            assert_eq!(slow.debug_markers, fast.debug_markers, "markers\n{src}");
+            assert_eq!(slow.events, fast.events, "event stream\n{src}");
+        }
+    }
+
+    #[test]
+    fn fast_path_limit_error_matches_slow_path() {
+        let image = assemble(".org 0x1000\nspin: j spin\n").unwrap();
+        for fast in [false, true] {
+            let mut iss = Iss::new();
+            iss.map_region(Addr(0x1000), 0x100);
+            iss.load(&image).unwrap();
+            iss.set_fast_path(fast);
+            let e = iss.run(100).unwrap_err();
+            assert!(matches!(e, SimError::LimitExceeded { limit: 100, .. }));
+        }
+    }
+
+    #[test]
+    fn fast_path_reports_cache_hits_on_hot_loops() {
+        let image = assemble(
+            "
+            .org 0x1000
+            movi d2, 100
+        head:
+            addi d2, d2, -1
+            jnz  d2, head
+            halt
+        ",
+        )
+        .unwrap();
+        let mut iss = Iss::new();
+        iss.map_region(Addr(0x1000), 0x1000);
+        iss.load(&image).unwrap();
+        iss.set_fast_path(true);
+        assert!(iss.fast_path_enabled());
+        let stats = {
+            let mut iss = iss;
+            // Run manually so we can inspect stats before `run` consumes it.
+            loop {
+                if iss.is_halted() {
+                    break;
+                }
+                iss.step_block(1_000_000).unwrap();
+            }
+            iss.cache_stats().unwrap()
+        };
+        assert!(stats.hits >= 90, "hot loop should hit: {stats:?}");
+        assert_eq!(stats.invalidations, 0);
+    }
+
+    #[test]
+    fn observation_emits_retired_stream() {
+        let run = run_asm_configured(".org 0x1000\n movi d0, 1\n debug 5\n halt\n", false, true);
+        // movi retires one record; debug retires marker + retired; halt
+        // retires one more: four records in total.
+        assert_eq!(run.events.len(), 4);
+        assert_eq!(run.events[0].event, PerfEvent::InstrRetired { count: 1 });
+        assert_eq!(run.events[1].event, PerfEvent::DebugMarker { code: 5 });
+        assert_eq!(run.events[0].cycle, Cycle(0));
+        assert_eq!(run.events.last().unwrap().cycle, Cycle(2));
     }
 }

@@ -21,6 +21,7 @@
 //! | [`arch`] | architectural state and the context-save architecture |
 //! | [`exec`] | instruction semantics shared by all execution models |
 //! | [`iss`] | functional golden-model simulator |
+//! | [`decode_cache`] | predecoded basic blocks for the ISS fast path |
 //! | [`bus`] | the timed memory interface a core drives |
 //! | [`pipeline`] | the cycle-level tri-issue pipeline |
 //! | [`mem`] | flat functional memory for tests and the ISS |
@@ -58,6 +59,7 @@
 pub mod arch;
 pub mod asm;
 pub mod bus;
+pub mod decode_cache;
 pub mod disasm;
 pub mod encode;
 pub mod exec;

@@ -1,10 +1,26 @@
 //! Simple functional memory for the golden-model ISS and for unit tests.
+//!
+//! Besides the raw bytes, every region carries a monotonically increasing
+//! *generation* counter that is bumped on each write into the region. The
+//! ISS decode cache ([`crate::decode_cache`]) snapshots the generation of
+//! the code region when it predecodes a basic block and re-validates it on
+//! every block entry, so any write to code memory — a self-modifying
+//! store, or a calibration-overlay swap loaded over flash — lazily
+//! invalidates the stale predecoded blocks without a write barrier in the
+//! store path.
 
 use std::collections::BTreeMap;
 
 use audo_common::{Addr, SimError};
 
 use crate::arch::ArchMem;
+
+/// One mapped region: backing bytes plus a write-generation counter.
+#[derive(Debug, Clone, Default)]
+struct Region {
+    bytes: Vec<u8>,
+    generation: u64,
+}
 
 /// Flat, region-based functional memory with no timing.
 ///
@@ -28,7 +44,7 @@ use crate::arch::ArchMem;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FlatMem {
-    regions: BTreeMap<u32, Vec<u8>>,
+    regions: BTreeMap<u32, Region>,
 }
 
 impl FlatMem {
@@ -44,8 +60,8 @@ impl FlatMem {
     ///
     /// Panics if the region overlaps an existing one.
     pub fn add_region(&mut self, base: Addr, len: u32) {
-        for (&b, data) in &self.regions {
-            let existing_end = b as u64 + data.len() as u64;
+        for (&b, region) in &self.regions {
+            let existing_end = b as u64 + region.bytes.len() as u64;
             let new_end = base.0 as u64 + u64::from(len);
             assert!(
                 new_end <= u64::from(b) || u64::from(base.0) >= existing_end,
@@ -53,7 +69,13 @@ impl FlatMem {
                 b
             );
         }
-        self.regions.insert(base.0, vec![0; len as usize]);
+        self.regions.insert(
+            base.0,
+            Region {
+                bytes: vec![0; len as usize],
+                generation: 0,
+            },
+        );
     }
 
     /// Copies `bytes` into memory at `base` (which must be mapped).
@@ -69,13 +91,36 @@ impl FlatMem {
     }
 
     fn locate(&self, addr: Addr) -> Option<(u32, usize)> {
-        let (&base, data) = self.regions.range(..=addr.0).next_back()?;
+        let (&base, region) = self.regions.range(..=addr.0).next_back()?;
         let off = (addr.0 - base) as usize;
-        if off < data.len() {
+        if off < region.bytes.len() {
             Some((base, off))
         } else {
             None
         }
+    }
+
+    /// Returns `(base, length)` of the mapped region containing `addr`,
+    /// or `None` if the address is unmapped.
+    #[must_use]
+    pub fn region_span(&self, addr: Addr) -> Option<(Addr, u32)> {
+        let (base, _) = self.locate(addr)?;
+        let len = self.regions[&base].bytes.len() as u32;
+        Some((Addr(base), len))
+    }
+
+    /// Returns the write-generation counter of the region containing
+    /// `addr`, or `None` if the address is unmapped.
+    ///
+    /// The counter starts at zero when the region is mapped and is bumped
+    /// by every byte written into the region (stores, [`FlatMem::load`],
+    /// image/overlay loads). Consumers that cache derived views of memory
+    /// — the ISS decode cache foremost — record the generation at fill
+    /// time and treat any later value as "contents may have changed".
+    #[must_use]
+    pub fn generation(&self, addr: Addr) -> Option<u64> {
+        let (base, _) = self.locate(addr)?;
+        Some(self.regions[&base].generation)
     }
 
     /// Reads one byte.
@@ -87,10 +132,10 @@ impl FlatMem {
         let (base, off) = self
             .locate(addr)
             .ok_or(SimError::UnmappedAddress { addr })?;
-        Ok(self.regions[&base][off])
+        Ok(self.regions[&base].bytes[off])
     }
 
-    /// Writes one byte.
+    /// Writes one byte, bumping the owning region's generation counter.
     ///
     /// # Errors
     ///
@@ -99,7 +144,9 @@ impl FlatMem {
         let (base, off) = self
             .locate(addr)
             .ok_or(SimError::UnmappedAddress { addr })?;
-        self.regions.get_mut(&base).expect("located region exists")[off] = value;
+        let region = self.regions.get_mut(&base).expect("located region exists");
+        region.bytes[off] = value;
+        region.generation += 1;
         Ok(())
     }
 
@@ -205,5 +252,37 @@ mod tests {
         m.add_region(Addr(0x120), 32);
         assert!(m.read(Addr(0x11C), 4).is_ok());
         assert!(m.read(Addr(0x120), 4).is_ok());
+    }
+
+    #[test]
+    fn generation_bumps_on_writes_only_in_owning_region() {
+        let mut m = FlatMem::new();
+        m.add_region(Addr(0x100), 32);
+        m.add_region(Addr(0x200), 32);
+        assert_eq!(m.generation(Addr(0x100)), Some(0));
+        assert_eq!(m.generation(Addr(0x200)), Some(0));
+        assert_eq!(m.generation(Addr(0x300)), None);
+
+        m.write(Addr(0x200), 4, 0xAABB_CCDD).unwrap();
+        // Word write = four byte writes, each bumping the counter.
+        assert_eq!(m.generation(Addr(0x200)), Some(4));
+        // Writes to one region leave the other region's counter alone.
+        assert_eq!(m.generation(Addr(0x100)), Some(0));
+
+        // Reads never bump.
+        m.read(Addr(0x200), 4).unwrap();
+        assert_eq!(m.generation(Addr(0x200)), Some(4));
+
+        // `load` goes through write_byte and therefore bumps too.
+        m.load(Addr(0x108), &[1, 2]);
+        assert_eq!(m.generation(Addr(0x11F)), Some(2));
+    }
+
+    #[test]
+    fn region_span_reports_base_and_len() {
+        let mut m = FlatMem::new();
+        m.add_region(Addr(0x100), 32);
+        assert_eq!(m.region_span(Addr(0x11F)), Some((Addr(0x100), 32)));
+        assert_eq!(m.region_span(Addr(0x120)), None);
     }
 }

@@ -22,6 +22,12 @@
 //!
 //! Architectural semantics are delegated to [`crate::exec::execute`]; the
 //! pipeline only adds *time*.
+//!
+//! This model deliberately re-fetches and re-decodes every cycle: fetch
+//! bandwidth, decode-queue occupancy and redirect bubbles *are* the timing
+//! being modelled. The predecoded-block fast path lives in the functional
+//! ISS instead (see [`crate::decode_cache`] and [`crate::iss`]), where no
+//! timing is observable and skipping fetch/decode is free.
 
 use std::collections::VecDeque;
 

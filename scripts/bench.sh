@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Perf-trajectory driver: runs the Criterion suites and regenerates the
+# machine-readable BENCH_*.json points. Run from anywhere.
+#
+# Wall-clock numbers measure *the simulator on this host*, not the modeled
+# silicon. The container pinning this repo is single-CPU, so expect noisy
+# absolute numbers; the recorded speedups are best-of-N ratios, which are
+# far more stable than the raw times.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> criterion: cargo bench -p audo-bench"
+cargo bench -p audo-bench --bench paper
+cargo bench -p audo-bench --bench iss_throughput
+
+echo "==> BENCH_iss.json (ISS decode-cache fast path speedup)"
+cargo run --release -q -p audo-bench --bin iss_bench -- --json BENCH_iss.json
+
+echo "==> BENCH_experiments.json (paper experiment timings)"
+cargo run --release -q -p audo-bench --bin experiments -- --json BENCH_experiments.json
+
+echo "bench artifacts written."

@@ -19,4 +19,11 @@ cargo test -q
 echo "==> workspace tests: cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> rustdoc gate: cargo doc --no-deps (warnings are errors)"
+# Vendored dependency stand-ins (vendor/*) are workspace members but not
+# ours to document; gate only the audo crates.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace \
+    --exclude serde --exclude serde_derive --exclude proptest \
+    --exclude rand --exclude criterion
+
 echo "CI green."

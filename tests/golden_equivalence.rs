@@ -80,15 +80,30 @@ fn program_from(lines: &[String]) -> String {
     src
 }
 
+/// Runs the ISS twice — slow single-stepping and the predecoded-block fast
+/// path — with event observation on, and asserts the two runs are
+/// bit-for-bit identical (architectural state, retired count, debug
+/// markers, event stream) before returning the golden registers. Every
+/// property case therefore also property-tests the decode cache.
 fn run_iss(src: &str) -> ([u32; 16], [u32; 16]) {
     let image = assemble(src).expect("assembles");
-    let mut iss = Iss::new();
-    iss.map_region(Addr(0x8000_0000), 0x10000);
-    iss.map_region(Addr(0xD000_0000), 0x10000);
-    iss.init_csa(Addr(0xD000_8000), 32).unwrap();
-    iss.load(&image).unwrap();
-    let run = iss.run(1_000_000).expect("golden run completes");
-    (run.state.d, run.state.a)
+    let build = |fast: bool| {
+        let mut iss = Iss::new();
+        iss.map_region(Addr(0x8000_0000), 0x10000);
+        iss.map_region(Addr(0xD000_0000), 0x10000);
+        iss.init_csa(Addr(0xD000_8000), 32).unwrap();
+        iss.load(&image).unwrap();
+        iss.set_fast_path(fast);
+        iss.set_observation(true);
+        iss
+    };
+    let slow = build(false).run(1_000_000).expect("golden run completes");
+    let fast = build(true).run(1_000_000).expect("fast-path run completes");
+    assert_eq!(slow.state, fast.state, "fast path arch state\n{src}");
+    assert_eq!(slow.instr_count, fast.instr_count, "fast path count\n{src}");
+    assert_eq!(slow.debug_markers, fast.debug_markers, "fast path markers");
+    assert_eq!(slow.events, fast.events, "fast path event stream\n{src}");
+    (slow.state.d, slow.state.a)
 }
 
 fn run_pipeline(src: &str) -> ([u32; 16], [u32; 16]) {

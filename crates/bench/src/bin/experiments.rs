@@ -1,15 +1,18 @@
-//! Runs the paper experiments (E1–E15) and prints the combined report —
+//! Runs the paper experiments (E1–E16) and prints the combined report —
 //! the generator for EXPERIMENTS.md.
 //!
 //! ```text
 //! cargo run --release -p audo-bench --bin experiments -- [options]
 //!
-//!   --jobs N        worker threads (default: available parallelism;
-//!                   report output is byte-identical for any N)
-//!   --filter IDS    run only these experiments, e.g. --filter E6 or
-//!                   --filter E2,E5,E9 (repeatable)
-//!   --json PATH     also write a machine-readable summary, e.g.
-//!                   --json BENCH_experiments.json
+//!   --jobs N             worker threads (default: available parallelism;
+//!                        report output is byte-identical for any N)
+//!   --filter IDS         run only these experiments, e.g. --filter E6 or
+//!                        --filter E2,E5,E9 (repeatable)
+//!   --json PATH          also write a machine-readable summary, e.g.
+//!                        --json BENCH_experiments.json
+//!   --dap-fault-rate R   run the E16 tool-link sweep at the single fault
+//!                        rate R (per-mechanism probability in [0, 1])
+//!                        instead of the default {0, 1e-3, 1e-2} matrix
 //! ```
 //!
 //! Exit status: 0 all checks passed, 1 some check failed, 2 an experiment
@@ -21,6 +24,7 @@ struct Args {
     jobs: usize,
     filter: Vec<String>,
     json: Option<String>,
+    dap_fault_rate: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: audo_bench::default_jobs(),
         filter: Vec::new(),
         json: None,
+        dap_fault_rate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -53,8 +58,21 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 args.json = Some(it.next().ok_or("--json needs a path")?);
             }
+            "--dap-fault-rate" => {
+                let v = it.next().ok_or("--dap-fault-rate needs a value")?;
+                let rate = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--dap-fault-rate: not a number: {v:?}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--dap-fault-rate must be in [0, 1], got {rate}"));
+                }
+                args.dap_fault_rate = Some(rate);
+            }
             "--help" | "-h" => {
-                println!("usage: experiments [--jobs N] [--filter E1,E2,..] [--json PATH]");
+                println!(
+                    "usage: experiments [--jobs N] [--filter E1,E2,..] [--json PATH] \
+                     [--dap-fault-rate R]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?} (see --help)")),
@@ -105,16 +123,24 @@ fn json_summary(reports: &[audo_bench::TimedReport], jobs: usize, total_secs: f6
             .filter(|c| !c.pass)
             .map(|c| format!("\"{}\"", json_escape(&c.what)))
             .collect();
+        let fields: Vec<String> = t
+            .report
+            .kv
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+            .collect();
         let _ = write!(
             out,
             "    {{\"id\": \"{}\", \"title\": \"{}\", \"duration_ms\": {:.3}, \
-             \"checks_passed\": {}, \"checks_total\": {}, \"failed_checks\": [{}]}}",
+             \"checks_passed\": {}, \"checks_total\": {}, \"failed_checks\": [{}], \
+             \"fields\": {{{}}}}}",
             json_escape(t.report.id),
             json_escape(&t.report.title),
             t.duration.as_secs_f64() * 1000.0,
             t.report.checks.iter().filter(|c| c.pass).count(),
             t.report.checks.len(),
-            failed.join(", ")
+            failed.join(", "),
+            fields.join(", ")
         );
         out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
     }
@@ -130,6 +156,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(rate) = args.dap_fault_rate {
+        audo_bench::set_dap_fault_rate(rate);
+    }
     let start = std::time::Instant::now();
     match audo_bench::run_selected(&args.filter, args.jobs) {
         Ok(reports) => {

@@ -1161,6 +1161,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("E13", e13_mli_intrusiveness),
         ("E14", e14_data_attribution),
         ("E15", e15_software_optimization),
+        ("E16", e16_tool_link),
     ]
 }
 
@@ -1530,6 +1531,142 @@ pub fn e15_software_optimization() -> Result<Report, SimError> {
             > speedup_of("tables->DSPR")
                 .max(speedup_of("ISRs->PSPR"))
                 .max(speedup_of("CAN->PCP")),
+    );
+    Ok(r)
+}
+
+// ======================================================================
+// E16 — the robust framed tool link: fault sweep + drain/overlay arbitration
+// ======================================================================
+
+/// Exercises the framed `DapSession` protocol end to end: a fault-rate
+/// sweep over the differential matrix rates {0, 1e-3, 1e-2} (three pinned
+/// seeds each, or a single `--dap-fault-rate` override), asserting the
+/// never-silently-wrong contract — each drained stream is byte-identical
+/// to the lossless drain or explicitly flagged truncated — plus an
+/// arbitration run where a calibration overlay write and the trace drain
+/// contend for the same link budget.
+///
+/// # Errors
+///
+/// Propagates simulation faults.
+pub fn e16_tool_link() -> Result<Report, SimError> {
+    use audo_dap::session::{ArbitrationPolicy, DapEndpoint, DapSession, HostTool, SessionConfig};
+    use audo_dap::FaultConfig;
+    use audo_profiler::session::ToolLinkOptions;
+
+    let mut r = Report::new(
+        "E16",
+        "robust framed tool link: fault sweep and drain/overlay arbitration",
+    );
+    let spec = ProfileSpec::new().metric(Metric::Ipc, 200);
+
+    // Reference: the idealised offline drain of the identical program.
+    let mut ref_ed = phased_ed()?;
+    let reference = profile(&mut ref_ed, &spec, &SessionOptions::default())?;
+    let ref_stream_len = reference.downloaded_bytes;
+
+    let rates: Vec<f64> = match crate::dap_fault_rate_override() {
+        Some(rate) => vec![rate],
+        None => vec![0.0, 1e-3, 1e-2],
+    };
+    let seeds: [u64; 3] = [11, 23, 47];
+    r.line(format!(
+        "{:<11} {:>5} {:>9} {:>8} {:>9} {:>10} {:>10}",
+        "fault-rate", "seed", "drained", "retries", "timeouts", "truncated", "exact"
+    ));
+    let mut all_explicit = true;
+    let mut lossless_exact = true;
+    for &rate in &rates {
+        for &seed in &seeds {
+            let mut ed = phased_ed()?;
+            let out = profile(
+                &mut ed,
+                &spec,
+                &SessionOptions {
+                    drain: DrainPolicy::Session(ToolLinkOptions {
+                        faults: FaultConfig::uniform(rate, seed),
+                        ..ToolLinkOptions::default()
+                    }),
+                    ..SessionOptions::default()
+                },
+            )?;
+            let report = out.tool.expect("session policy reports");
+            let exact = out.downloaded_bytes == ref_stream_len && report.complete;
+            let explicit = exact || report.stats.trace_truncated;
+            all_explicit &= explicit;
+            if rate == 0.0 {
+                lossless_exact &= exact && report.stats.retries == 0;
+            }
+            r.line(format!(
+                "{rate:<11} {seed:>5} {:>9} {:>8} {:>9} {:>10} {exact:>10}",
+                out.downloaded_bytes,
+                report.stats.retries,
+                report.stats.timeouts,
+                report.stats.trace_truncated,
+            ));
+            r.field(
+                format!("rate_{rate}_seed_{seed}_retries"),
+                report.stats.retries,
+            );
+            r.field(
+                format!("rate_{rate}_seed_{seed}_truncated"),
+                report.stats.trace_truncated,
+            );
+        }
+    }
+    r.field("reference_stream_bytes", ref_stream_len);
+    r.check(
+        "every drain is byte-identical to lossless or explicitly truncated",
+        all_explicit,
+    );
+    if rates.contains(&0.0) {
+        r.check("fault rate 0: exact stream, zero retries", lossless_exact);
+    }
+
+    // Arbitration: run the target to halt with trace kept on the device,
+    // then let an overlay write and the trace drain fight for the link.
+    let mut ed = phased_ed()?;
+    ed.program_mcds(audo_mcds::Mcds::builder().program_trace().build()?);
+    ed.run(2_000_000, |_| {})?;
+    let trace_level = ed.trace.level();
+    let session = DapSession::new(
+        DapConfig::default(),
+        SessionConfig::default(),
+        FaultConfig::lossless(),
+    );
+    let mut tool = HostTool::new(session, ArbitrationPolicy::CalibrationFirst);
+    let cal = audo_platform::config::EMEM_BASE.offset(ed.calibration_offset());
+    let payload: Vec<u8> = (0..512u32).map(|i| (i * 13) as u8).collect();
+    tool.queue_overlay_write(cal.0, &payload);
+    for _ in 0..4_000_000u64 {
+        tool.pump(&mut ed);
+        if tool.pending_write_chunks() == 0
+            && tool.session.stats().trace_bytes_drained >= trace_level
+        {
+            break;
+        }
+    }
+    let drained_ok = tool.finish_drain(&mut ed, 4_000_000);
+    let st = *tool.session.stats();
+    let written = ed.block_read(cal.0, payload.len())?;
+    r.line(format!(
+        "arbitration: {} trace B drained, {} overlay B written, grants drain/overlay {}/{}",
+        st.trace_bytes_drained, st.overlay_bytes_written, st.drain_grants, st.overlay_grants
+    ));
+    r.field("arb_trace_bytes", st.trace_bytes_drained);
+    r.field("arb_overlay_bytes", st.overlay_bytes_written);
+    r.check(
+        "overlay write lands byte-exact despite drain pressure",
+        written == payload,
+    );
+    r.check(
+        "trace fully drained alongside the overlay traffic",
+        drained_ok && st.trace_bytes_drained >= trace_level && !st.trace_truncated,
+    );
+    r.check(
+        "both classes actually shared the link",
+        st.drain_grants > 0 && st.overlay_grants > 0,
     );
     Ok(r)
 }

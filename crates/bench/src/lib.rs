@@ -3,10 +3,12 @@
 //! The paper (a methodology paper) has no numbered result tables; its five
 //! figures are architecture and methodology diagrams and §5 carries worked
 //! numeric examples and quantitative claims. DESIGN.md maps each onto the
-//! experiments E1–E12 implemented here. Each experiment returns a
+//! experiments E1–E16 implemented here. Each experiment returns a
 //! [`report::Report`] with rendered results and machine-checkable claims,
 //! shared between the `experiments` binary (prints everything for
 //! EXPERIMENTS.md), the integration tests, and the Criterion benches.
+
+use std::sync::OnceLock;
 
 pub mod experiments;
 pub mod report;
@@ -15,3 +17,18 @@ pub mod scheduler;
 pub use experiments::*;
 pub use report::{Check, Report};
 pub use scheduler::{default_jobs, run_jobs, TimedJob};
+
+static DAP_FAULT_RATE: OnceLock<f64> = OnceLock::new();
+
+/// Overrides the fault-rate sweep of the tool-link experiment (E16): with
+/// a rate set, E16 runs only that rate (the `--dap-fault-rate` CLI flag).
+/// First call wins; later calls are ignored.
+pub fn set_dap_fault_rate(rate: f64) {
+    let _ = DAP_FAULT_RATE.set(rate);
+}
+
+/// The `--dap-fault-rate` override, if one was set.
+#[must_use]
+pub fn dap_fault_rate_override() -> Option<f64> {
+    DAP_FAULT_RATE.get().copied()
+}

@@ -14,7 +14,7 @@ pub struct Check {
 /// A rendered experiment.
 #[derive(Debug, Clone)]
 pub struct Report {
-    /// Experiment id (`E1`..`E12`).
+    /// Experiment id (`E1`..`E16`).
     pub id: &'static str,
     /// Title (the paper anchor).
     pub title: String,
@@ -22,6 +22,9 @@ pub struct Report {
     pub lines: Vec<String>,
     /// Pass/fail claims.
     pub checks: Vec<Check>,
+    /// Machine-readable key/value result fields, emitted into the JSON
+    /// summary of the `experiments` binary (not into the rendered text).
+    pub kv: Vec<(String, String)>,
 }
 
 impl Report {
@@ -33,12 +36,18 @@ impl Report {
             title: title.into(),
             lines: Vec::new(),
             checks: Vec::new(),
+            kv: Vec::new(),
         }
     }
 
     /// Appends a body line.
     pub fn line(&mut self, s: impl Into<String>) {
         self.lines.push(s.into());
+    }
+
+    /// Records a machine-readable result field for the JSON summary.
+    pub fn field(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.kv.push((key.into(), value.to_string()));
     }
 
     /// Records a claim.
@@ -97,5 +106,20 @@ mod tests {
         let r = Report::new("E0", "empty");
         assert!(r.passed());
         assert!(r.render().contains("E0"));
+    }
+
+    #[test]
+    fn fields_are_recorded_but_not_rendered() {
+        let mut r = Report::new("E0", "demo");
+        r.field("retries", 3u64);
+        r.field("rate", 0.01);
+        assert_eq!(
+            r.kv,
+            vec![
+                ("retries".to_string(), "3".to_string()),
+                ("rate".to_string(), "0.01".to_string()),
+            ]
+        );
+        assert!(!r.render().contains("retries"));
     }
 }

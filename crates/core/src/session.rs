@@ -9,13 +9,55 @@
 //! after the run) and concurrent drain through a modeled [`DapLink`].
 
 use audo_common::{Cycle, SimError};
-use audo_dap::{DapConfig, DapLink};
+use audo_dap::session::{ArbitrationPolicy, DapSession, DapSessionStats, HostTool, SessionConfig};
+use audo_dap::{DapConfig, DapLink, FaultConfig, FaultStats};
 use audo_ed::EmulationDevice;
 use audo_mcds::msg::decode_stream_lossy_shifted;
 use audo_mcds::TraceMessage;
 
 use crate::spec::{ProbeMap, ProfileSpec};
 use crate::timeline::Timeline;
+
+/// Options of the framed tool-link session (the robust protocol path of
+/// [`DrainPolicy::Session`]).
+#[derive(Debug, Clone)]
+pub struct ToolLinkOptions {
+    /// Link bandwidth model.
+    pub dap: DapConfig,
+    /// Session protocol knobs (timeouts, retry, chunk sizes).
+    pub session: SessionConfig,
+    /// Deterministic link-fault injection.
+    pub faults: FaultConfig,
+    /// Who wins when trace drain and calibration writes contend.
+    pub policy: ArbitrationPolicy,
+    /// Extra link cycles granted after the run to finish draining.
+    pub finish_budget_cycles: u64,
+}
+
+impl Default for ToolLinkOptions {
+    fn default() -> ToolLinkOptions {
+        ToolLinkOptions {
+            dap: DapConfig::default(),
+            session: SessionConfig::default(),
+            faults: FaultConfig::lossless(),
+            policy: ArbitrationPolicy::default(),
+            finish_budget_cycles: 4_000_000,
+        }
+    }
+}
+
+/// What the framed tool link observed during a session — the graceful
+/// degradation report surfaced instead of a panic on a bad link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToolLinkReport {
+    /// Session transaction statistics (retries, timeouts, truncation …).
+    pub stats: DapSessionStats,
+    /// What the fault injector actually did to the wire.
+    pub faults: FaultStats,
+    /// The trace stream was fully recovered (otherwise `stats` flags the
+    /// truncation and the downloaded bytes are an exact prefix).
+    pub complete: bool,
+}
 
 /// How trace bytes leave the chip.
 #[derive(Debug, Clone)]
@@ -26,7 +68,14 @@ pub enum DrainPolicy {
     Offline,
     /// Drain concurrently through a DAP link budget while the target runs;
     /// EMEM overflow (and the resulting trace loss) is faithfully modeled.
+    /// The protocol itself is idealised (no frames, no loss).
     Dap(DapConfig),
+    /// Drain through the full framed session protocol
+    /// ([`audo_dap::DapSession`]): CRC-protected frames, timeouts, retries
+    /// and (optionally) injected link faults, with trace readout arbitrated
+    /// against calibration writes. The tool's view is reported in
+    /// [`SessionOutcome::tool`].
+    Session(ToolLinkOptions),
 }
 
 /// Session run options.
@@ -72,6 +121,8 @@ pub struct SessionOutcome {
     pub probe_map: ProbeMap,
     /// The target executed `HALT`.
     pub halted: bool,
+    /// Tool-link session report (only for [`DrainPolicy::Session`]).
+    pub tool: Option<ToolLinkReport>,
 }
 
 impl SessionOutcome {
@@ -101,9 +152,21 @@ pub fn profile(
     let (mcds, probe_map) = spec.compile()?;
     ed.program_mcds(mcds);
 
-    let mut link = match &opts.drain {
-        DrainPolicy::Offline => None,
-        DrainPolicy::Dap(cfg) => Some(DapLink::new(cfg.clone())),
+    enum Drainer {
+        Offline,
+        Dap(DapLink),
+        Session(Box<HostTool>, u64),
+    }
+    let mut drainer = match &opts.drain {
+        DrainPolicy::Offline => Drainer::Offline,
+        DrainPolicy::Dap(cfg) => Drainer::Dap(DapLink::new(cfg.clone())),
+        DrainPolicy::Session(tl) => Drainer::Session(
+            Box::new(HostTool::new(
+                DapSession::new(tl.dap.clone(), tl.session.clone(), tl.faults.clone()),
+                tl.policy,
+            )),
+            tl.finish_budget_cycles,
+        ),
     };
     let mut host_buf: Vec<u8> = Vec::new();
     let mut produced: u64 = 0;
@@ -113,14 +176,14 @@ pub fn profile(
     while ed.now().saturating_sub(start) < opts.max_cycles {
         let step = ed.step()?;
         produced += u64::from(step.trace_bytes);
-        match &mut link {
-            None => {
+        match &mut drainer {
+            Drainer::Offline => {
                 let level = ed.trace.level();
                 if level > 0 {
                     host_buf.extend_from_slice(&ed.drain_trace(level as u32)?);
                 }
             }
-            Some(link) => {
+            Drainer::Dap(link) => {
                 link.advance_cycles(1);
                 let level = ed.trace.level();
                 let budget = link.available() as u64;
@@ -131,6 +194,7 @@ pub fn profile(
                     host_buf.extend_from_slice(&got);
                 }
             }
+            Drainer::Session(tool, _) => tool.pump(ed),
         }
         if step.halted {
             halted = true;
@@ -144,8 +208,22 @@ pub fn profile(
         });
     }
     // Post-run download of whatever is still buffered.
-    let rest = ed.trace.level();
-    host_buf.extend_from_slice(&ed.drain_trace(rest as u32)?);
+    let tool_report = match drainer {
+        Drainer::Session(mut tool, finish_budget) => {
+            let complete = tool.finish_drain(ed, finish_budget);
+            host_buf.extend_from_slice(&tool.take_collected());
+            Some(ToolLinkReport {
+                stats: *tool.session.stats(),
+                faults: tool.session.fault_stats(),
+                complete,
+            })
+        }
+        _ => {
+            let rest = ed.trace.level();
+            host_buf.extend_from_slice(&ed.drain_trace(rest as u32)?);
+            None
+        }
+    };
 
     let lost = ed.trace.lost();
     // Overflow (ring overwrite / linear drop) can cut the stream
@@ -162,6 +240,7 @@ pub fn profile(
         decode_error,
         probe_map,
         halted,
+        tool: tool_report,
     })
 }
 
@@ -291,6 +370,58 @@ mod tests {
             fine.iter().all(|s| s.cycle.0 > midpoint),
             "fine samples only during the pointer chase"
         );
+    }
+
+    #[test]
+    fn session_drain_lossless_matches_offline_and_reports() {
+        let run = |drain: DrainPolicy| {
+            let mut ed = ed_with(PHASED);
+            let spec = ProfileSpec::new().metric(Metric::Ipc, 500);
+            profile(
+                &mut ed,
+                &spec,
+                &SessionOptions {
+                    drain,
+                    ..SessionOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let offline = run(DrainPolicy::Offline);
+        let session = run(DrainPolicy::Session(ToolLinkOptions::default()));
+        let report = session.tool.expect("session policy reports");
+        assert!(report.complete);
+        assert!(!report.stats.trace_truncated);
+        assert_eq!(report.stats.retries, 0, "lossless link never retries");
+        assert_eq!(session.downloaded_bytes, offline.downloaded_bytes);
+        assert_eq!(
+            session.timeline.series(Metric::Ipc).len(),
+            offline.timeline.series(Metric::Ipc).len()
+        );
+        assert!(offline.tool.is_none());
+    }
+
+    #[test]
+    fn session_drain_survives_a_noisy_link() {
+        let mut ed = ed_with(PHASED);
+        let spec = ProfileSpec::new().metric(Metric::Ipc, 500);
+        let out = profile(
+            &mut ed,
+            &spec,
+            &SessionOptions {
+                drain: DrainPolicy::Session(ToolLinkOptions {
+                    faults: FaultConfig::uniform(1e-3, 7),
+                    ..ToolLinkOptions::default()
+                }),
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+        let report = out.tool.expect("report present");
+        // Whatever the noise did, the outcome is explicit: either the
+        // stream is complete, or the truncation is flagged — never silent.
+        assert_eq!(report.complete, !report.stats.trace_truncated);
+        assert!(out.halted);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Deterministic link-fault injection for the tool path.
+//!
+//! The embedded-profiling literature is blunt about it: transport loss is
+//! the dominant practical failure mode of trace-based profiling. A session
+//! layer that has only ever seen a perfect link is untested where it
+//! matters, so [`FaultyLink`] wraps frame delivery with seeded,
+//! reproducible corruption: bit flips, whole-frame drops, truncations and
+//! duplicate deliveries, each at a configurable rate. The generator is a
+//! xorshift64* built on the vendored `rand` traits — no wall clock, no OS
+//! entropy; the same seed always injects the same faults, which is what
+//! makes the differential fault-matrix tests in
+//! `tests/dap_session_faults.rs` possible.
+
+use rand::{RngCore, SeedableRng};
+
+/// A xorshift64* generator: tiny, fast, and plenty for fault scheduling.
+#[derive(Debug, Clone)]
+pub struct Xorshift64Star {
+    state: u64,
+}
+
+impl SeedableRng for Xorshift64Star {
+    fn seed_from_u64(seed: u64) -> Xorshift64Star {
+        Xorshift64Star {
+            // xorshift must not start at 0; fold the seed through SplitMix's
+            // increment so every u64 seed (including 0) is usable.
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+}
+
+impl RngCore for Xorshift64Star {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Per-mechanism fault rates, all probabilities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a delivered frame copy is silently dropped.
+    pub drop: f64,
+    /// Probability a frame is delivered twice (stutter on the line).
+    pub duplicate: f64,
+    /// Probability a frame is cut short at a random byte.
+    pub truncate: f64,
+    /// Per-byte probability of a (non-identity) bit-flip corruption.
+    pub byte_corrupt: f64,
+    /// Seed of the deterministic fault schedule.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A perfect link: nothing is ever injected.
+    #[must_use]
+    pub fn lossless() -> FaultConfig {
+        FaultConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            truncate: 0.0,
+            byte_corrupt: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// All four mechanisms at the same `rate` — the knob behind
+    /// `experiments --dap-fault-rate`.
+    #[must_use]
+    pub fn uniform(rate: f64, seed: u64) -> FaultConfig {
+        FaultConfig {
+            drop: rate,
+            duplicate: rate,
+            truncate: rate,
+            byte_corrupt: rate,
+            seed,
+        }
+    }
+
+    /// A permanently dead link: every frame is dropped (used to verify the
+    /// session's bounded-retry termination).
+    #[must_use]
+    pub fn dead(seed: u64) -> FaultConfig {
+        FaultConfig {
+            drop: 1.0,
+            ..FaultConfig::lossless()
+        }
+        .with_seed(seed)
+    }
+
+    fn with_seed(mut self, seed: u64) -> FaultConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// `true` when no fault can ever fire (lets callers skip the injector).
+    #[must_use]
+    pub fn is_lossless(&self) -> bool {
+        self.drop <= 0.0
+            && self.duplicate <= 0.0
+            && self.truncate <= 0.0
+            && self.byte_corrupt <= 0.0
+    }
+}
+
+/// Counters of what the injector actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frame copies dropped outright.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames cut short.
+    pub truncated: u64,
+    /// Individual bytes corrupted.
+    pub bytes_corrupted: u64,
+}
+
+/// A frame-delivery wrapper that injects deterministic faults.
+#[derive(Debug, Clone)]
+pub struct FaultyLink {
+    cfg: FaultConfig,
+    rng: Xorshift64Star,
+    stats: FaultStats,
+}
+
+impl FaultyLink {
+    /// Creates an injector with the given fault schedule.
+    #[must_use]
+    pub fn new(cfg: FaultConfig) -> FaultyLink {
+        FaultyLink {
+            rng: Xorshift64Star::seed_from_u64(cfg.seed),
+            cfg,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configured rates.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// What has been injected so far.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against a threshold in 2^-53 resolution; exact for the
+        // rates the test matrix uses (0, 1e-3, 1e-2).
+        ((self.rng.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Passes one transmitted frame through the fault model; returns the
+    /// copies that actually arrive (0 = dropped, 2 = duplicated), each
+    /// possibly truncated and/or byte-corrupted.
+    pub fn deliver(&mut self, frame: &[u8]) -> Vec<Vec<u8>> {
+        if self.cfg.is_lossless() {
+            return vec![frame.to_vec()];
+        }
+        let copies = if self.chance(self.cfg.duplicate) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        let mut out = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            if self.chance(self.cfg.drop) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let mut copy = frame.to_vec();
+            if !copy.is_empty() && self.chance(self.cfg.truncate) {
+                let keep = (self.rng.next_u64() % copy.len() as u64) as usize;
+                copy.truncate(keep);
+                self.stats.truncated += 1;
+            }
+            for b in &mut copy {
+                if self.chance(self.cfg.byte_corrupt) {
+                    // xor with a non-zero mask: the byte *actually* changes.
+                    *b ^= (self.rng.next_u64() % 255 + 1) as u8;
+                    self.stats.bytes_corrupted += 1;
+                }
+            }
+            out.push(copy);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_link_is_transparent() {
+        let mut link = FaultyLink::new(FaultConfig::lossless());
+        let frame = vec![1u8, 2, 3, 4];
+        for _ in 0..100 {
+            assert_eq!(link.deliver(&frame), vec![frame.clone()]);
+        }
+        assert_eq!(link.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn dead_link_drops_everything() {
+        let mut link = FaultyLink::new(FaultConfig::dead(1));
+        for _ in 0..50 {
+            assert!(link.deliver(&[9u8; 16]).is_empty());
+        }
+        assert_eq!(link.stats().dropped, 50);
+    }
+
+    #[test]
+    fn same_seed_injects_identical_faults() {
+        let frame = vec![0u8; 64];
+        let run = |seed: u64| {
+            let mut link = FaultyLink::new(FaultConfig::uniform(0.05, seed));
+            (0..200).map(|_| link.deliver(&frame)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds must diverge");
+    }
+
+    #[test]
+    fn corruption_changes_bytes_and_is_counted() {
+        let mut link = FaultyLink::new(FaultConfig {
+            byte_corrupt: 1.0,
+            ..FaultConfig::lossless()
+        });
+        let frame = vec![0xAAu8; 32];
+        let got = link.deliver(&frame);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].len(), 32);
+        assert!(got[0].iter().all(|&b| b != 0xAA), "every byte must differ");
+        assert_eq!(link.stats().bytes_corrupted, 32);
+    }
+
+    #[test]
+    fn observed_drop_rate_tracks_configured_rate() {
+        let mut link = FaultyLink::new(
+            FaultConfig {
+                drop: 0.25,
+                ..FaultConfig::lossless()
+            }
+            .with_seed(3),
+        );
+        let n = 20_000;
+        let mut dropped = 0;
+        for _ in 0..n {
+            if link.deliver(&[0u8; 8]).is_empty() {
+                dropped += 1;
+            }
+        }
+        let rate = f64::from(dropped) / f64::from(n);
+        assert!((0.23..0.27).contains(&rate), "observed {rate}");
+    }
+}

@@ -1,0 +1,330 @@
+//! Byte-level frame codec for the host ↔ Cerberus tool link.
+//!
+//! Everything the host exchanges with the Emulation Device — register
+//! accesses, EMEM block reads (trace drain), calibration overlay writes —
+//! travels as *frames* over the narrow DAP pins. A frame is:
+//!
+//! ```text
+//! +------+------+------+--------------+---------------+-----------+
+//! | SYNC | KIND | SEQ  | LEN (varint) | payload …     | CRC16 LE  |
+//! | 0xA5 | 1 B  | 1 B  | 1..2 B       | LEN bytes     | 2 B       |
+//! +------+------+------+--------------+---------------+-----------+
+//! ```
+//!
+//! The CRC-16/CCITT-FALSE covers KIND, SEQ, the LEN varint and the payload
+//! (everything except SYNC and the CRC itself), so any single corrupted
+//! byte inside the frame is detected: corruption in the covered region
+//! fails the checksum directly; corruption of the LEN varint shifts where
+//! the decoder looks for the CRC, which then mismatches the recomputed
+//! value. The codec never panics on malformed input — a real tool must
+//! survive line noise — and length is capped at [`MAX_PAYLOAD`] so a
+//! corrupt LEN cannot cause unbounded allocation.
+
+use audo_common::varint;
+
+/// Start-of-frame marker.
+pub const SYNC: u8 = 0xA5;
+
+/// Maximum payload bytes per frame: one EMEM calibration overlay page
+/// (8 KiB), the largest unit the tool moves in one transaction.
+pub const MAX_PAYLOAD: usize = 8192;
+
+/// Frame kinds: commands (host → device) and responses (device → host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Read one 32-bit register/memory word. Payload: `addr: u32 LE`.
+    RegRead = 0x01,
+    /// Write one 32-bit word. Payload: `addr: u32 LE, value: u32 LE`.
+    RegWrite = 0x02,
+    /// Read a memory/EMEM block. Payload: `addr: u32 LE, len: u16 LE`.
+    BlockRead = 0x03,
+    /// Write a memory/EMEM block (overlay page). Payload: `addr: u32 LE,
+    /// data …`.
+    BlockWrite = 0x04,
+    /// Drain trace bytes with cumulative acknowledge. Payload:
+    /// `ack: varint u64, max: u16 LE`.
+    TraceRead = 0x05,
+    /// Positive acknowledge (writes). Empty payload.
+    Ack = 0x81,
+    /// Data response. Payload depends on the command answered.
+    Data = 0x82,
+    /// The device understood the frame but refused the operation
+    /// (unmapped address, malformed payload).
+    Nak = 0x83,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0x01 => FrameKind::RegRead,
+            0x02 => FrameKind::RegWrite,
+            0x03 => FrameKind::BlockRead,
+            0x04 => FrameKind::BlockWrite,
+            0x05 => FrameKind::TraceRead,
+            0x81 => FrameKind::Ack,
+            0x82 => FrameKind::Data,
+            0x83 => FrameKind::Nak,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer does not start with [`SYNC`].
+    NoSync,
+    /// The buffer ends before the frame is complete.
+    Truncated,
+    /// The KIND byte encodes no known frame kind.
+    BadKind(u8),
+    /// The LEN field exceeds [`MAX_PAYLOAD`].
+    Oversize(u64),
+    /// The checksum over KIND/SEQ/LEN/payload does not match.
+    BadCrc {
+        /// CRC recomputed by the receiver.
+        expected: u16,
+        /// CRC carried by the frame.
+        found: u16,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::NoSync => f.write_str("missing frame sync byte"),
+            FrameError::Truncated => f.write_str("truncated frame"),
+            FrameError::BadKind(b) => write!(f, "unknown frame kind {b:#04x}"),
+            FrameError::Oversize(len) => write!(f, "frame length {len} exceeds {MAX_PAYLOAD}"),
+            FrameError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: expected {expected:#06x}, found {found:#06x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — the classic serial-link
+/// checksum; detects all single-byte (burst ≤ 8 bit) corruptions.
+#[must_use]
+pub fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in bytes {
+        crc ^= u16::from(b) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// One tool-link frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame asks for / answers with.
+    pub kind: FrameKind,
+    /// Wrapping sequence number: responses echo the command's sequence so
+    /// the host can match (and discard stale/duplicated) responses.
+    pub seq: u8,
+    /// Command- or response-specific payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`MAX_PAYLOAD`] — an internal protocol
+    /// bug, not a link condition.
+    #[must_use]
+    pub fn new(kind: FrameKind, seq: u8, payload: Vec<u8>) -> Frame {
+        assert!(payload.len() <= MAX_PAYLOAD, "frame payload too large");
+        Frame { kind, seq, payload }
+    }
+
+    /// Total bytes a frame with `payload_len` payload occupies on the wire.
+    #[must_use]
+    pub fn wire_len(payload_len: usize) -> usize {
+        // SYNC + KIND + SEQ + LEN varint + payload + CRC16.
+        3 + varint::len_u64(payload_len as u64) + payload_len + 2
+    }
+
+    /// Serializes the frame.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Frame::wire_len(self.payload.len()));
+        out.push(SYNC);
+        out.push(self.kind as u8);
+        out.push(self.seq);
+        varint::write_u64(&mut out, self.payload.len() as u64);
+        out.extend_from_slice(&self.payload);
+        let crc = crc16(&out[1..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`; returns the frame and the
+    /// bytes consumed. Never panics on arbitrary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] describing the first defect found.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+        if buf.first() != Some(&SYNC) {
+            return Err(FrameError::NoSync);
+        }
+        if buf.len() < 4 {
+            return Err(FrameError::Truncated);
+        }
+        let kind_byte = buf[1];
+        let seq = buf[2];
+        let (len, len_bytes) = varint::read_u64(&buf[3..]).map_err(|_| FrameError::Truncated)?;
+        if len > MAX_PAYLOAD as u64 {
+            return Err(FrameError::Oversize(len));
+        }
+        let len = len as usize;
+        let payload_start = 3 + len_bytes;
+        let crc_start = payload_start + len;
+        if buf.len() < crc_start + 2 {
+            return Err(FrameError::Truncated);
+        }
+        let found = u16::from_le_bytes([buf[crc_start], buf[crc_start + 1]]);
+        let expected = crc16(&buf[1..crc_start]);
+        if found != expected {
+            return Err(FrameError::BadCrc { expected, found });
+        }
+        // Kind is CRC-protected, so check it only after the checksum: a
+        // corrupt kind byte is a corrupt frame, not a protocol violation.
+        let kind = FrameKind::from_u8(kind_byte).ok_or(FrameError::BadKind(kind_byte))?;
+        Ok((
+            Frame {
+                kind,
+                seq,
+                payload: buf[payload_start..crc_start].to_vec(),
+            },
+            crc_start + 2,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        for kind in [
+            FrameKind::RegRead,
+            FrameKind::RegWrite,
+            FrameKind::BlockRead,
+            FrameKind::BlockWrite,
+            FrameKind::TraceRead,
+            FrameKind::Ack,
+            FrameKind::Data,
+            FrameKind::Nak,
+        ] {
+            let f = Frame::new(kind, 42, vec![1, 2, 3]);
+            let raw = f.encode();
+            assert_eq!(raw.len(), Frame::wire_len(3));
+            let (g, used) = Frame::decode(&raw).unwrap();
+            assert_eq!(g, f);
+            assert_eq!(used, raw.len());
+        }
+    }
+
+    #[test]
+    fn empty_and_max_payloads_roundtrip() {
+        for len in [0usize, 1, 127, 128, MAX_PAYLOAD] {
+            let f = Frame::new(FrameKind::Data, 7, vec![0xAB; len]);
+            let raw = f.encode();
+            let (g, used) = Frame::decode(&raw).unwrap();
+            assert_eq!(g, f);
+            assert_eq!(used, raw.len());
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut() {
+        let raw = Frame::new(FrameKind::BlockWrite, 9, (0..=255).collect()).encode();
+        for cut in 0..raw.len() {
+            assert!(Frame::decode(&raw[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_without_allocation() {
+        // Hand-craft a frame claiming a huge payload.
+        let mut raw = vec![SYNC, FrameKind::Data as u8, 0];
+        audo_common::varint::write_u64(&mut raw, u64::MAX);
+        raw.extend_from_slice(&[0, 0]);
+        assert!(matches!(Frame::decode(&raw), Err(FrameError::Oversize(_))));
+    }
+
+    #[test]
+    fn crc_vector_is_stable() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1 — the standard check
+        // value; pins the polynomial/init so both ends stay compatible.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Round-trip identity for arbitrary payloads up to the EMEM block
+        /// size (satellite: codec property tests).
+        fn roundtrip_arbitrary_payloads(
+            payload in proptest::collection::vec(any::<u8>(), 0..MAX_PAYLOAD + 1),
+            seq in 0u64..256,
+            kind_sel in 0u64..8,
+        ) {
+            let kinds = [
+                FrameKind::RegRead, FrameKind::RegWrite, FrameKind::BlockRead,
+                FrameKind::BlockWrite, FrameKind::TraceRead, FrameKind::Ack,
+                FrameKind::Data, FrameKind::Nak,
+            ];
+            let f = Frame::new(kinds[kind_sel as usize], seq as u8, payload);
+            let raw = f.encode();
+            let (g, used) = Frame::decode(&raw).expect("own encoding decodes");
+            prop_assert_eq!(used, raw.len());
+            prop_assert_eq!(g, f);
+        }
+
+        /// Corrupting exactly one byte never panics the decoder and never
+        /// produces a *different* frame that passes the CRC ("wrong but
+        /// valid"). Decoding may fail — that is the link-robustness
+        /// contract: corrupt in, error out.
+        fn single_byte_corruption_never_yields_a_wrong_frame(
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+            seq in 0u64..256,
+            pos_sel in any::<u64>(),
+            xor_sel in 1u64..256,
+        ) {
+            let f = Frame::new(FrameKind::Data, seq as u8, payload);
+            let mut raw = f.encode();
+            let pos = (pos_sel % raw.len() as u64) as usize;
+            raw[pos] ^= xor_sel as u8; // guaranteed to actually change the byte
+            match Frame::decode(&raw) {
+                Err(_) => {} // detected — good
+                Ok((g, _)) => prop_assert_eq!(g, f, "corruption at byte {} slipped through", pos),
+            }
+        }
+
+        /// Garbage input never panics.
+        fn arbitrary_bytes_never_panic(
+            junk in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let _ = Frame::decode(&junk);
+        }
+    }
+}

@@ -13,7 +13,27 @@
 //!   per-access packet cost and a round-trip latency,
 //! * the MLI monitor path ([`MliMonitor`]) models the *intrusive*
 //!   alternative of §3 where a monitor routine running on the TriCore
-//!   services the tool — stealing CPU cycles from the application.
+//!   services the tool — stealing CPU cycles from the application,
+//! * [`frame`] defines the byte-level wire format (sync, kind, sequence
+//!   number, varint length, CRC-16) every tool transaction travels in,
+//! * [`session`] is the host-side [`session::DapSession`] state machine:
+//!   timeouts, bounded retry with deterministic backoff, idempotent trace
+//!   drain, and the [`session::HostTool`] arbitration between trace
+//!   readout and calibration writes,
+//! * [`faults`] injects deterministic, seeded link faults (drops, bit
+//!   flips, truncations, duplicates) so all of the above is testable
+//!   against the transport loss that dominates real trace capture.
+
+pub mod faults;
+pub mod frame;
+pub mod session;
+
+pub use faults::{FaultConfig, FaultStats, FaultyLink};
+pub use frame::{crc16, Frame, FrameError, FrameKind, MAX_PAYLOAD};
+pub use session::{
+    ArbitrationPolicy, DapEndpoint, DapSession, DapSessionStats, HostTool, SessionConfig,
+    TraceChunk, TxError,
+};
 
 use audo_common::{Cycle, Freq};
 
@@ -90,8 +110,12 @@ impl DapConfig {
 #[derive(Debug, Clone)]
 pub struct DapLink {
     cfg: DapConfig,
-    /// Budget in millibytes to avoid float drift.
-    budget_millibytes: u64,
+    /// Budget already consumed, in millibytes. The *accrued* budget is
+    /// computed from the total elapsed cycles in one shot
+    /// (`total_millibytes`), so fractional bytes carry across
+    /// `advance_cycles` calls regardless of call granularity — a long run
+    /// of 1-cycle advances accrues exactly what one big advance would.
+    consumed_millibytes: u64,
     transferred: u64,
     now: Cycle,
 }
@@ -102,7 +126,7 @@ impl DapLink {
     pub fn new(cfg: DapConfig) -> DapLink {
         DapLink {
             cfg,
-            budget_millibytes: 0,
+            consumed_millibytes: 0,
             transferred: 0,
             now: Cycle::ZERO,
         }
@@ -117,20 +141,36 @@ impl DapLink {
     /// Advances simulated time by `cycles` CPU cycles, accruing budget.
     pub fn advance_cycles(&mut self, cycles: u64) {
         self.now += cycles;
-        let mb_per_cycle = self.cfg.bytes_per_cpu_cycle() * 1000.0;
-        self.budget_millibytes += (mb_per_cycle * cycles as f64) as u64;
+    }
+
+    /// Millibytes accrued over the link's whole lifetime. One f64 rounding
+    /// per query (not per `advance_cycles` call), so there is no cumulative
+    /// truncation loss; f64 stays exact far beyond any simulated run
+    /// (~2^53 millibyte-cycles).
+    fn total_millibytes(&self) -> u64 {
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        {
+            (self.cfg.bytes_per_cpu_cycle() * 1000.0 * self.now.0 as f64) as u64
+        }
     }
 
     /// Whole payload bytes currently available.
     #[must_use]
     pub fn available(&self) -> usize {
-        (self.budget_millibytes / 1000) as usize
+        ((self
+            .total_millibytes()
+            .saturating_sub(self.consumed_millibytes))
+            / 1000) as usize
     }
 
     /// Consumes up to `want` bytes of budget; returns what was granted.
     pub fn take(&mut self, want: usize) -> usize {
         let got = want.min(self.available());
-        self.budget_millibytes -= got as u64 * 1000;
+        self.consumed_millibytes += got as u64 * 1000;
         self.transferred += got as u64;
         got
     }
@@ -245,6 +285,37 @@ mod tests {
         }
         let got = link.available();
         assert!((95..=100).contains(&got), "~100 bytes expected, got {got}");
+    }
+
+    #[test]
+    fn per_cycle_accrual_equals_bulk_accrual() {
+        // Regression for the fractional-byte carry bug: truncating the
+        // accrued budget once per advance_cycles call lost up to a
+        // millibyte per call. A million 1-cycle advances must accrue
+        // exactly what one 1M-cycle advance does.
+        let mut fine = DapLink::new(DapConfig::default());
+        for _ in 0..1_000_000u64 {
+            fine.advance_cycles(1);
+        }
+        let mut bulk = DapLink::new(DapConfig::default());
+        bulk.advance_cycles(1_000_000);
+        assert_eq!(fine.available(), bulk.available());
+        // 1M cycles at 1/15 B/cycle = 66 666 whole bytes.
+        assert_eq!(bulk.available(), 66_666);
+    }
+
+    #[test]
+    fn accrual_is_interleaving_invariant_around_takes() {
+        let mut a = DapLink::new(DapConfig::default());
+        let mut b = DapLink::new(DapConfig::default());
+        for _ in 0..10_000u64 {
+            a.advance_cycles(1);
+            a.take(1);
+        }
+        b.advance_cycles(10_000);
+        let granted = a.transferred();
+        b.take(granted as usize);
+        assert_eq!(a.available(), b.available());
     }
 
     #[test]

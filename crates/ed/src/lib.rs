@@ -27,6 +27,7 @@
 //! # Ok::<(), audo_common::SimError>(())
 //! ```
 
+pub mod tool_port;
 pub mod trace_ctrl;
 
 use audo_common::{Addr, Cycle, EventRecord, SimError};
@@ -35,6 +36,7 @@ use audo_platform::config::{SocConfig, EMEM_BASE};
 use audo_platform::fabric::OvcEntry;
 use audo_platform::soc::{CycleObservation, Soc};
 
+pub use tool_port::CerberusPort;
 pub use trace_ctrl::{Placement, TraceController, TraceMode};
 
 /// Emulation Extension Chip configuration.
@@ -78,6 +80,9 @@ pub struct EmulationDevice {
     pub mcds: Option<Mcds>,
     /// Trace-region bookkeeping.
     pub trace: TraceController,
+    /// Cerberus tool-port state (trace replay window for the framed
+    /// DAP session protocol — see [`tool_port`]).
+    pub tool_port: CerberusPort,
     cfg: EdConfig,
     scratch: Vec<u8>,
 }
@@ -98,6 +103,7 @@ impl EmulationDevice {
             soc: Soc::new(soc_cfg),
             mcds: None,
             trace: TraceController::new(cfg.trace_bytes.max(1), cfg.trace_mode),
+            tool_port: CerberusPort::default(),
             cfg,
             scratch: Vec::new(),
         }

@@ -13,18 +13,32 @@
 //!   --dap-fault-rate R   run the E16 tool-link sweep at the single fault
 //!                        rate R (per-mechanism probability in [0, 1])
 //!                        instead of the default {0, 1e-3, 1e-2} matrix
+//!   --trace-out PATH     write a Chrome trace-event JSON of the run
+//!                        (open at https://ui.perfetto.dev); enables
+//!                        experiment observability
+//!   --metrics-out PATH   write a Prometheus-style plain-text metrics
+//!                        snapshot; enables experiment observability
+//!   --flame-out PATH     write folded call stacks (flamegraph.pl /
+//!                        inferno input) reconstructed from the program
+//!                        trace; enables experiment observability
 //! ```
+//!
+//! All observability timestamps are simulated cycles, so identical runs
+//! write byte-identical trace/metrics/flame files for any `--jobs`.
 //!
 //! Exit status: 0 all checks passed, 1 some check failed, 2 an experiment
 //! errored or the command line was invalid.
 
-use std::fmt::Write as _;
+use audo_bench::json::json_summary;
 
 struct Args {
     jobs: usize,
     filter: Vec<String>,
     json: Option<String>,
     dap_fault_rate: Option<f64>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    flame_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +47,9 @@ fn parse_args() -> Result<Args, String> {
         filter: Vec::new(),
         json: None,
         dap_fault_rate: None,
+        trace_out: None,
+        metrics_out: None,
+        flame_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -68,10 +85,20 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.dap_fault_rate = Some(rate);
             }
+            "--trace-out" => {
+                args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?);
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+            }
+            "--flame-out" => {
+                args.flame_out = Some(it.next().ok_or("--flame-out needs a path")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--jobs N] [--filter E1,E2,..] [--json PATH] \
-                     [--dap-fault-rate R]"
+                     [--dap-fault-rate R] [--trace-out PATH] [--metrics-out PATH] \
+                     [--flame-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -81,71 +108,38 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn json_summary(reports: &[audo_bench::TimedReport], jobs: usize, total_secs: f64) -> String {
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"jobs\": {jobs},");
-    let _ = writeln!(
-        out,
-        "  \"total_wall_clock_ms\": {:.3},",
-        total_secs * 1000.0
-    );
-    let passed: usize = reports
-        .iter()
-        .map(|t| t.report.checks.iter().filter(|c| c.pass).count())
-        .sum();
-    let total: usize = reports.iter().map(|t| t.report.checks.len()).sum();
-    let _ = writeln!(out, "  \"checks_passed\": {passed},");
-    let _ = writeln!(out, "  \"checks_total\": {total},");
-    out.push_str("  \"experiments\": [\n");
+/// Merges every experiment's registry (one Chrome-trace track per
+/// experiment, names prefixed with the experiment id) and renders the
+/// requested export files.
+fn write_obs_exports(args: &Args, reports: &[audo_bench::TimedReport]) -> Result<(), String> {
+    let mut merged = audo_obs::Registry::new();
+    let mut tracks: Vec<(u32, String)> = Vec::new();
+    let mut flame = audo_obs::FoldedStacks::new();
     for (i, t) in reports.iter().enumerate() {
-        let failed: Vec<String> = t
-            .report
-            .checks
-            .iter()
-            .filter(|c| !c.pass)
-            .map(|c| format!("\"{}\"", json_escape(&c.what)))
-            .collect();
-        let fields: Vec<String> = t
-            .report
-            .kv
-            .iter()
-            .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
-            .collect();
-        let _ = write!(
-            out,
-            "    {{\"id\": \"{}\", \"title\": \"{}\", \"duration_ms\": {:.3}, \
-             \"checks_passed\": {}, \"checks_total\": {}, \"failed_checks\": [{}], \
-             \"fields\": {{{}}}}}",
-            json_escape(t.report.id),
-            json_escape(&t.report.title),
-            t.duration.as_secs_f64() * 1000.0,
-            t.report.checks.iter().filter(|c| c.pass).count(),
-            t.report.checks.len(),
-            failed.join(", "),
-            fields.join(", ")
-        );
-        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+        #[allow(clippy::cast_possible_truncation)]
+        let track = (i + 1) as u32;
+        merged.merge_from(&format!("{}.", t.report.id), &t.report.obs, track);
+        tracks.push((track, t.report.id.to_string()));
+        flame.merge(&t.report.flame, Some(t.report.id));
     }
-    out.push_str("  ]\n}\n");
-    out
+    let write = |path: &str, body: String| -> Result<(), String> {
+        std::fs::write(path, body).map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("wrote {path}");
+        Ok(())
+    };
+    if let Some(path) = &args.trace_out {
+        write(
+            path,
+            audo_obs::chrome::trace_json(&merged, "audo experiments", &tracks),
+        )?;
+    }
+    if let Some(path) = &args.metrics_out {
+        write(path, audo_obs::metrics_text::render(&merged, "audo_"))?;
+    }
+    if let Some(path) = &args.flame_out {
+        write(path, flame.render())?;
+    }
+    Ok(())
 }
 
 fn main() {
@@ -158,6 +152,9 @@ fn main() {
     };
     if let Some(rate) = args.dap_fault_rate {
         audo_bench::set_dap_fault_rate(rate);
+    }
+    if args.trace_out.is_some() || args.metrics_out.is_some() || args.flame_out.is_some() {
+        audo_bench::set_obs(true);
     }
     let start = std::time::Instant::now();
     match audo_bench::run_selected(&args.filter, args.jobs) {
@@ -193,6 +190,10 @@ fn main() {
                     std::process::exit(2);
                 }
                 println!("wrote {path}");
+            }
+            if let Err(e) = write_obs_exports(&args, &reports) {
+                eprintln!("{e}");
+                std::process::exit(2);
             }
             if passed != total {
                 std::process::exit(1);

@@ -1,13 +1,27 @@
 //! Measures ISS throughput with the decode-cache fast path off vs. on and
 //! writes the machine-readable perf-trajectory point `BENCH_iss.json`.
 //!
-//! Usage: `iss_bench [--json PATH] [--reps N]`
+//! ```text
+//! iss_bench [--json PATH] [--reps N] [--trace-out PATH] [--metrics-out PATH]
+//!           [--obs-json PATH] [--baseline PATH]
+//! ```
 //!
 //! For each instruction-mix workload the program times `Iss::run` only
 //! (setup — assembly, memory mapping, image load — is excluded), takes the
 //! best of `N` repetitions to suppress scheduler noise, and reports
 //! retired instructions per wall-second plus the fast/slow speedup. The
 //! JSON is written by hand so the binary has no serializer dependency.
+//!
+//! `--trace-out`/`--metrics-out` write observability exports of one
+//! instrumented run per workload (fast path with the instruction-mix
+//! counter on). All timestamps are retired-instruction counts, so the
+//! files are byte-identical across identical runs.
+//!
+//! `--obs-json` additionally measures instrumentation overhead and writes
+//! it (default `BENCH_obs.json`): the fast path is re-timed with the mix
+//! counter enabled, and the plain (instrumentation-disabled) timings are
+//! compared against the `fast_ns` baseline in `--baseline` (default
+//! `BENCH_iss.json`) — the disabled geomean must stay within 2%.
 
 use std::time::Instant;
 
@@ -45,11 +59,12 @@ fn prepared(w: &Workload, fast: bool) -> Iss {
 
 /// Best-of-`reps` wall time of `Iss::run` alone, in nanoseconds, plus the
 /// retired-instruction count (identical across paths by construction).
-fn time_run(w: &Workload, fast: bool, reps: u32) -> (u128, u64) {
+fn time_run(w: &Workload, fast: bool, mix: bool, reps: u32) -> (u128, u64) {
     let mut best = u128::MAX;
     let mut instrs = 0;
     for _ in 0..reps {
-        let iss = prepared(w, fast);
+        let mut iss = prepared(w, fast);
+        iss.set_mix_observation(mix);
         let t0 = Instant::now();
         let run = iss.run(50_000_000).expect("workload completes");
         let dt = t0.elapsed().as_nanos().max(1);
@@ -59,23 +74,220 @@ fn time_run(w: &Workload, fast: bool, reps: u32) -> (u128, u64) {
     (best, instrs)
 }
 
-fn main() {
-    let mut json_path = String::from("BENCH_iss.json");
-    let mut reps: u32 = 5;
+/// One fully instrumented run of a workload (fast path, mix counter on),
+/// exported into a fresh registry. Simulated time is the retired count.
+fn observed_run(w: &Workload) -> audo_obs::Registry {
+    let mut iss = prepared(w, true);
+    iss.set_mix_observation(true);
+    let mut reg = audo_obs::Registry::new();
+    reg.begin_span("run", 0);
+    iss.run_resumable(50_000_000).expect("workload completes");
+    iss.export_obs(&mut reg);
+    let retired = reg.counter("iss.instructions_retired");
+    reg.end_span(retired);
+    reg.stamp(retired);
+    reg
+}
+
+/// Extracts `(name, fast_ns)` pairs from a `BENCH_iss.json` baseline.
+/// The file is our own hand-written format, so a line scan suffices.
+fn read_baseline(path: &str) -> Result<Vec<(String, u128)>, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read baseline {path}: {e}"))?;
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let name: String = line[name_at + 9..]
+            .chars()
+            .take_while(|&c| c != '"')
+            .collect();
+        let fast_at = line
+            .find("\"fast_ns\": ")
+            .ok_or_else(|| format!("baseline {path}: workload line without fast_ns"))?;
+        let digits: String = line[fast_at + 11..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        let ns = digits
+            .parse::<u128>()
+            .map_err(|_| format!("baseline {path}: bad fast_ns for {name}"))?;
+        out.push((name, ns));
+    }
+    if out.is_empty() {
+        return Err(format!("baseline {path}: no workloads found"));
+    }
+    Ok(out)
+}
+
+struct Args {
+    json_path: String,
+    reps: u32,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    obs_json: Option<String>,
+    baseline: String,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        json_path: String::from("BENCH_iss.json"),
+        reps: 5,
+        trace_out: None,
+        metrics_out: None,
+        obs_json: None,
+        baseline: String::from("BENCH_iss.json"),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--json" => json_path = args.next().expect("--json needs a path"),
+            "--json" => parsed.json_path = args.next().expect("--json needs a path"),
             "--reps" => {
-                reps = args
+                parsed.reps = args
                     .next()
                     .expect("--reps needs a count")
                     .parse()
-                    .expect("--reps must be an integer")
+                    .expect("--reps must be an integer");
             }
+            "--trace-out" => {
+                parsed.trace_out = Some(args.next().expect("--trace-out needs a path"))
+            }
+            "--metrics-out" => {
+                parsed.metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+            }
+            "--obs-json" => parsed.obs_json = Some(args.next().expect("--obs-json needs a path")),
+            "--baseline" => parsed.baseline = args.next().expect("--baseline needs a path"),
             other => panic!("unknown argument {other:?}"),
         }
     }
+    parsed
+}
+
+fn write_obs_exports(args: &Args, workloads: &[Workload]) {
+    if args.trace_out.is_none() && args.metrics_out.is_none() {
+        return;
+    }
+    let mut merged = audo_obs::Registry::new();
+    let mut tracks: Vec<(u32, String)> = Vec::new();
+    for (i, w) in workloads.iter().enumerate() {
+        #[allow(clippy::cast_possible_truncation)]
+        let track = (i + 1) as u32;
+        let reg = observed_run(w);
+        merged.merge_from(&format!("{}.", w.name), &reg, track);
+        tracks.push((track, w.name.clone()));
+    }
+    if let Some(path) = &args.trace_out {
+        let body = audo_obs::chrome::trace_json(&merged, "audo iss_bench", &tracks);
+        std::fs::write(path, body).expect("write trace json");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.metrics_out {
+        let body = audo_obs::metrics_text::render(&merged, "audo_");
+        std::fs::write(path, body).expect("write metrics snapshot");
+        println!("wrote {path}");
+    }
+}
+
+/// Measures instrumentation overhead on the fast path and writes
+/// `BENCH_obs.json`. `rows` carries this run's instrumentation-disabled
+/// timings; the baseline file carries the pre-observability `fast_ns`.
+fn write_obs_overhead(args: &Args, path: &str, rows: &[Row]) {
+    let baseline = match read_baseline(&args.baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut entries = Vec::new();
+    let mut disabled_lnsum = 0.0f64;
+    let mut enabled_lnsum = 0.0f64;
+    let workloads = [
+        mac_kernel(20_000),
+        stream_copy(20_000),
+        div_kernel(5_000),
+        random_mix(7, 400, 400),
+    ];
+    for (w, row) in workloads.iter().zip(rows) {
+        let (enabled_ns, _) = time_run(w, true, true, args.reps);
+        let base_ns = baseline
+            .iter()
+            .find(|(n, _)| *n == row.name)
+            .map(|(_, ns)| *ns)
+            .unwrap_or_else(|| {
+                eprintln!("baseline {} has no workload {:?}", args.baseline, row.name);
+                std::process::exit(2);
+            });
+        let disabled_regression = row.fast_ns as f64 / base_ns as f64;
+        let enabled_overhead = enabled_ns as f64 / row.fast_ns as f64;
+        disabled_lnsum += disabled_regression.ln();
+        enabled_lnsum += enabled_overhead.ln();
+        println!(
+            "{:<14} disabled {:>6.3}x of baseline   enabled {:>6.3}x of disabled",
+            row.name, disabled_regression, enabled_overhead
+        );
+        entries.push((
+            row,
+            base_ns,
+            enabled_ns,
+            disabled_regression,
+            enabled_overhead,
+        ));
+    }
+    let n = entries.len() as f64;
+    let geo_disabled = (disabled_lnsum / n).exp();
+    let geo_enabled = (enabled_lnsum / n).exp();
+    let within = geo_disabled <= 1.02;
+    println!(
+        "geomean: disabled {geo_disabled:.3}x of baseline ({}), enabled {geo_enabled:.3}x of disabled",
+        if within { "within 2%" } else { "REGRESSED >2%" }
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"obs_overhead\",\n");
+    out.push_str(&format!("  \"reps\": {},\n", args.reps));
+    out.push_str(&format!("  \"baseline\": \"{}\",\n", args.baseline));
+    out.push_str(
+        "  \"note\": \"decode-cache fast path: instrumentation disabled vs the recorded \
+         baseline, and with the instruction-mix counter enabled; best-of-reps wall time of \
+         Iss::run only; single-CPU container\",\n",
+    );
+    out.push_str("  \"workloads\": [\n");
+    for (i, (row, base_ns, enabled_ns, disabled_regression, enabled_overhead)) in
+        entries.iter().enumerate()
+    {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"instrs\": {}, \"baseline_fast_ns\": {}, \
+             \"disabled_ns\": {}, \"enabled_ns\": {}, \"disabled_regression\": {:.4}, \
+             \"enabled_overhead\": {:.4}}}{}\n",
+            row.name,
+            row.instrs,
+            base_ns,
+            row.fast_ns,
+            enabled_ns,
+            disabled_regression,
+            enabled_overhead,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"geomean_disabled_regression\": {geo_disabled:.4},\n"
+    ));
+    out.push_str(&format!(
+        "  \"geomean_enabled_overhead\": {geo_enabled:.4},\n"
+    ));
+    out.push_str(&format!("  \"disabled_within_2pct\": {within}\n}}\n"));
+    std::fs::write(path, out).expect("write BENCH_obs json");
+    println!("wrote {path}");
+    if !within {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = parse_args();
 
     let workloads = [
         mac_kernel(20_000),
@@ -85,8 +297,8 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for w in &workloads {
-        let (slow_ns, slow_instrs) = time_run(w, false, reps);
-        let (fast_ns, fast_instrs) = time_run(w, true, reps);
+        let (slow_ns, slow_instrs) = time_run(w, false, false, args.reps);
+        let (fast_ns, fast_instrs) = time_run(w, true, false, args.reps);
         assert_eq!(
             slow_instrs, fast_instrs,
             "fast path must retire the same instruction count"
@@ -111,26 +323,33 @@ fn main() {
     let geomean = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
     println!("geomean speedup: {geomean:.2}x");
 
-    let mut out = String::new();
-    out.push_str("{\n  \"bench\": \"iss_throughput\",\n");
-    out.push_str(&format!("  \"reps\": {reps},\n"));
-    out.push_str("  \"note\": \"functional ISS, decode-cache fast path off vs on; best-of-reps wall time of Iss::run only; single-CPU container\",\n");
-    out.push_str("  \"workloads\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"instrs\": {}, \"slow_ns\": {}, \"fast_ns\": {}, \"slow_mips\": {:.3}, \"fast_mips\": {:.3}, \"speedup\": {:.3}}}{}\n",
-            r.name,
-            r.instrs,
-            r.slow_ns,
-            r.fast_ns,
-            r.mips(r.slow_ns),
-            r.mips(r.fast_ns),
-            r.speedup(),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+    if args.obs_json.is_none() {
+        let mut out = String::new();
+        out.push_str("{\n  \"bench\": \"iss_throughput\",\n");
+        out.push_str(&format!("  \"reps\": {},\n", args.reps));
+        out.push_str("  \"note\": \"functional ISS, decode-cache fast path off vs on; best-of-reps wall time of Iss::run only; single-CPU container\",\n");
+        out.push_str("  \"workloads\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"instrs\": {}, \"slow_ns\": {}, \"fast_ns\": {}, \"slow_mips\": {:.3}, \"fast_mips\": {:.3}, \"speedup\": {:.3}}}{}\n",
+                r.name,
+                r.instrs,
+                r.slow_ns,
+                r.fast_ns,
+                r.mips(r.slow_ns),
+                r.mips(r.fast_ns),
+                r.speedup(),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"geomean_speedup\": {geomean:.3}\n}}\n"));
+        std::fs::write(&args.json_path, out).expect("write BENCH json");
+        println!("wrote {}", args.json_path);
     }
-    out.push_str("  ],\n");
-    out.push_str(&format!("  \"geomean_speedup\": {geomean:.3}\n}}\n"));
-    std::fs::write(&json_path, out).expect("write BENCH json");
-    println!("wrote {json_path}");
+
+    write_obs_exports(&args, &workloads);
+    if let Some(path) = args.obs_json.clone() {
+        write_obs_overhead(&args, &path, &rows);
+    }
 }

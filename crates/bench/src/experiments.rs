@@ -219,6 +219,13 @@ pub fn e2_ipc_timeline() -> Result<Report, SimError> {
             format!("window {window}: timeline resolves the two program phases"),
             hi > 1.2 && lo < 0.7,
         );
+        if r.obs.is_enabled() {
+            let mut run = audo_obs::Registry::new();
+            ed.export_obs(&mut run);
+            run.sample("ipc.samples", series.len() as u64);
+            run.sample("ipc.instructions_measured", measured);
+            r.obs.merge_from(&format!("w{window}."), &run, 1);
+        }
     }
     Ok(r)
 }
@@ -458,9 +465,11 @@ pub fn e5_bandwidth() -> Result<Report, SimError> {
         &SessionOptions {
             max_cycles: w.max_cycles,
             drain: DrainPolicy::Dap(dap.clone()),
+            observe: r.obs.is_enabled(),
             ..SessionOptions::default()
         },
     )?;
+    r.obs.merge_from("", &out.obs, 1);
     let measured_bps = out.produced_bytes as f64 / (out.cycles as f64 / 150e6);
     r.line(format!(
         "measured session (150 MHz, 4 metrics): {:.0} B/s produced, {} bytes lost over the DAP link",
@@ -795,11 +804,21 @@ pub fn e9_trace() -> Result<Report, SimError> {
         &spec,
         &SessionOptions {
             max_cycles: w.max_cycles,
+            observe: r.obs.is_enabled(),
             ..SessionOptions::default()
         },
     )?;
     let retired = ed.soc.tricore.retired_total();
     let rec = reconstruct_flow(&w.image, &out.messages)?;
+    r.obs.merge_from("", &out.obs, 1);
+    if r.obs.is_enabled() {
+        r.obs.sample("reconstruction.instructions", rec.instr_count);
+        r.obs
+            .sample("reconstruction.flow_messages", rec.flow_messages);
+        r.obs
+            .sample("reconstruction.symbols", rec.per_symbol.len() as u64);
+        r.flame.merge(&rec.folded, None);
+    }
     let pcp_msgs = out
         .messages
         .iter()
@@ -958,6 +977,11 @@ pub fn e10_calibration() -> Result<Report, SimError> {
         "profiling continued during calibration",
         ed.trace.total_written() > 0,
     );
+    if r.obs.is_enabled() {
+        ed.export_obs(&mut r.obs);
+        r.obs
+            .sample("calibration.overlay_bytes_tuned", tuned.len() as u64);
+    }
     Ok(r)
 }
 
@@ -1592,6 +1616,16 @@ pub fn e16_tool_link() -> Result<Report, SimError> {
                 },
             )?;
             let report = out.tool.expect("session policy reports");
+            if r.obs.is_enabled() {
+                // Aggregate link-robustness counters across the sweep.
+                r.obs.add("sweep.sessions", 1);
+                r.obs.add("sweep.retries", report.stats.retries);
+                r.obs.add("sweep.timeouts", report.stats.timeouts);
+                r.obs.add("sweep.crc_errors", report.stats.crc_errors);
+                r.obs
+                    .add("sweep.backoff_cycles", report.stats.backoff_cycles);
+                r.obs.add("sweep.rewinds", report.stats.rewinds);
+            }
             let exact = out.downloaded_bytes == ref_stream_len && report.complete;
             let explicit = exact || report.stats.trace_truncated;
             all_explicit &= explicit;
@@ -1649,6 +1683,12 @@ pub fn e16_tool_link() -> Result<Report, SimError> {
     }
     let drained_ok = tool.finish_drain(&mut ed, 4_000_000);
     let st = *tool.session.stats();
+    if r.obs.is_enabled() {
+        let mut arb = audo_obs::Registry::new();
+        st.export_obs(&mut arb);
+        ed.export_obs(&mut arb);
+        r.obs.merge_from("arb.", &arb, 1);
+    }
     let written = ed.block_read(cal.0, payload.len())?;
     r.line(format!(
         "arbitration: {} trace B drained, {} overlay B written, grants drain/overlay {}/{}",

@@ -11,6 +11,7 @@
 use std::sync::OnceLock;
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod scheduler;
 
@@ -19,6 +20,23 @@ pub use report::{Check, Report};
 pub use scheduler::{default_jobs, run_jobs, TimedJob};
 
 static DAP_FAULT_RATE: OnceLock<f64> = OnceLock::new();
+static OBS: OnceLock<bool> = OnceLock::new();
+
+/// Turns on experiment observability: reports created after this call carry
+/// an enabled [`audo_obs::Registry`] that the experiments populate (the
+/// `--trace-out`/`--metrics-out`/`--flame-out` CLI flags). Off by default —
+/// with observability off the experiments do no instrumentation work and
+/// their JSON summary is byte-identical to previous releases. First call
+/// wins; later calls are ignored.
+pub fn set_obs(enabled: bool) {
+    let _ = OBS.set(enabled);
+}
+
+/// Whether experiment observability was switched on.
+#[must_use]
+pub fn obs_enabled() -> bool {
+    OBS.get().copied().unwrap_or(false)
+}
 
 /// Overrides the fault-rate sweep of the tool-link experiment (E16): with
 /// a rate set, E16 runs only that rate (the `--dap-fault-rate` CLI flag).

@@ -25,6 +25,13 @@ pub struct Report {
     /// Machine-readable key/value result fields, emitted into the JSON
     /// summary of the `experiments` binary (not into the rendered text).
     pub kv: Vec<(String, String)>,
+    /// Observability registry for this experiment. Enabled (and populated
+    /// by the experiment) only when [`crate::set_obs`] switched experiment
+    /// observability on; disabled and empty otherwise.
+    pub obs: audo_obs::Registry,
+    /// Folded call stacks this experiment reconstructed (flamegraph input;
+    /// populated only with observability on).
+    pub flame: audo_obs::FoldedStacks,
 }
 
 impl Report {
@@ -37,6 +44,12 @@ impl Report {
             lines: Vec::new(),
             checks: Vec::new(),
             kv: Vec::new(),
+            obs: if crate::obs_enabled() {
+                audo_obs::Registry::new()
+            } else {
+                audo_obs::Registry::disabled()
+            },
+            flame: audo_obs::FoldedStacks::new(),
         }
     }
 

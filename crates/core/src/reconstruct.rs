@@ -13,9 +13,13 @@ use std::collections::BTreeMap;
 use audo_common::events::FlowKind;
 use audo_common::{Addr, Cycle, SimError, SourceId};
 use audo_mcds::TraceMessage;
+use audo_obs::FoldedStacks;
 use audo_tricore::encode::decode;
-use audo_tricore::isa::Instr;
+use audo_tricore::isa::{AReg, Instr};
 use audo_tricore::Image;
+
+/// Frame name used when a PC falls outside every image symbol.
+const UNKNOWN_FRAME: &str = "<unknown>";
 
 /// The reconstructed execution of one core.
 #[derive(Debug, Clone, Default)]
@@ -25,10 +29,73 @@ pub struct FlowReconstruction {
     pub pcs: Vec<u32>,
     /// Instructions attributed per symbol (function-level flat profile).
     pub per_symbol: BTreeMap<String, u64>,
+    /// Instructions attributed per reconstructed call stack — the exact
+    /// (not sampled) flamegraph of the traced run, in folded-stack form.
+    pub folded: FoldedStacks,
     /// Total instructions reconstructed.
     pub instr_count: u64,
     /// Flow messages consumed.
     pub flow_messages: u64,
+}
+
+/// Call-stack tracking state for the flamegraph attribution during the
+/// flow walk.
+///
+/// The walker sees every retired instruction, so the stack can be rebuilt
+/// from call/return instructions alone: calls push the caller's frame,
+/// returns pop it, and an asynchronous exception pushes the interrupted
+/// frame (the handler's symbol becomes the new leaf). The leaf frame is
+/// always re-derived from the image symbol containing the current PC, which
+/// also makes tail jumps between functions attribute correctly.
+#[derive(Default)]
+struct StackTracker {
+    /// Caller frames, outermost first (the leaf is implicit).
+    callers: Vec<String>,
+    /// The current leaf frame, once known.
+    leaf: Option<String>,
+    /// Samples attributed to the current `callers + leaf` stack but not
+    /// yet flushed into the folded map.
+    pending: u64,
+}
+
+impl StackTracker {
+    fn flush(&mut self, folded: &mut FoldedStacks) {
+        if self.pending > 0 {
+            if let Some(leaf) = &self.leaf {
+                let mut line = self.callers.join(";");
+                if !line.is_empty() {
+                    line.push(';');
+                }
+                line.push_str(leaf);
+                folded.add_folded(&line, self.pending);
+            }
+            self.pending = 0;
+        }
+    }
+
+    /// Attributes one instruction at `sym` to the current stack.
+    fn retire(&mut self, sym: &str, folded: &mut FoldedStacks) {
+        if self.leaf.as_deref() != Some(sym) {
+            self.flush(folded);
+            self.leaf = Some(sym.to_string());
+        }
+        self.pending += 1;
+    }
+
+    /// A call retired: the current leaf becomes a caller frame.
+    fn call(&mut self, folded: &mut FoldedStacks) {
+        self.flush(folded);
+        if let Some(leaf) = self.leaf.take() {
+            self.callers.push(leaf);
+        }
+    }
+
+    /// A return (or exception return) retired: drop back to the caller.
+    fn ret(&mut self, folded: &mut FoldedStacks) {
+        self.flush(folded);
+        self.callers.pop();
+        self.leaf = None;
+    }
 }
 
 fn err(message: impl Into<String>) -> SimError {
@@ -67,6 +134,7 @@ pub fn reconstruct_flow(
 ) -> Result<FlowReconstruction, SimError> {
     let mut rec = FlowReconstruction::default();
     let mut pos: Option<u32> = None;
+    let mut stack = StackTracker::default();
 
     for (_, msg) in messages {
         let (icnt, explicit_target, kind) = match *msg {
@@ -85,9 +153,15 @@ pub fn reconstruct_flow(
         rec.flow_messages += 1;
 
         // A lock-on sync (icnt = 0 with a target) re-anchors the walk after
-        // a trace gap: jump without walking.
+        // a trace gap: jump without walking. An asynchronous exception can
+        // legitimately carry icnt = 0 (interrupt taken right at a message
+        // boundary) — it walks nothing but still nests the handler under
+        // the interrupted frame.
         if icnt == 0 {
             if let Some(t) = explicit_target {
+                if pos.is_some() && matches!(kind, Some(FlowKind::Exception)) {
+                    stack.call(&mut rec.folded);
+                }
                 pos = Some(t);
                 continue;
             }
@@ -110,8 +184,19 @@ pub fn reconstruct_flow(
             let (instr, len) = decode(&bytes, Addr(pc))?;
             rec.pcs.push(pc);
             rec.instr_count += 1;
-            if let Some(sym) = image.symbol_containing(Addr(pc)) {
+            let sym = image.symbol_containing(Addr(pc));
+            if let Some(sym) = sym {
                 *rec.per_symbol.entry(sym.to_string()).or_insert(0) += 1;
+            }
+            stack.retire(sym.unwrap_or(UNKNOWN_FRAME), &mut rec.folded);
+            match instr {
+                Instr::Call { .. } | Instr::CallI { .. } | Instr::Jl { .. } => {
+                    stack.call(&mut rec.folded);
+                }
+                Instr::Ret | Instr::Rfe => stack.ret(&mut rec.folded),
+                // `ji a11` is the return idiom paired with `jl` leaf calls.
+                Instr::Ji { aa: AReg(11) } => stack.ret(&mut rec.folded),
+                _ => {}
             }
             let last = i + 1 == icnt;
             if last && !async_flow {
@@ -140,11 +225,14 @@ pub fn reconstruct_flow(
         }
         if async_flow {
             // Asynchronous redirect (interrupt): execution resumes at the
-            // vector regardless of the walked position.
+            // vector regardless of the walked position. The interrupted
+            // frame stays on the stack; the handler nests under it.
+            stack.call(&mut rec.folded);
             pc = explicit_target.expect("exception flows always carry targets");
         }
         pos = Some(pc);
     }
+    stack.flush(&mut rec.folded);
     Ok(rec)
 }
 
@@ -228,6 +316,100 @@ mod tests {
             work.1 >= 100,
             "50 calls x 3 instructions in `work`: {}",
             work.1
+        );
+    }
+
+    #[test]
+    fn folded_stacks_nest_callee_under_caller() {
+        let (image, messages, _) = traced_run(
+            "
+            .org 0x80000000
+        _start:
+            la sp, 0xD0004000
+            movi d0, 0
+            li d1, 50
+        head:
+            call work
+            addi d0, d0, 1
+            jne d0, d1, head
+            halt
+        work:
+            addi d2, d2, 3
+            addi d2, d2, -1
+            ret
+        ",
+        );
+        let rec = reconstruct_flow(&image, &messages).unwrap();
+        // The callee is attributed under its caller (the `head` loop body
+        // is the innermost symbol containing the call site), never as a
+        // root.
+        assert!(
+            rec.folded.count("head;work") >= 100,
+            "50 calls x 3 instructions nested under head: {}",
+            rec.folded.render()
+        );
+        // The only rooted `work` samples are the initial lock-on (the
+        // decoder cannot know the caller before the first sync point).
+        assert!(
+            rec.folded.count("work") <= 3,
+            "work rooted beyond the lock-on artifact: {}",
+            rec.folded.render()
+        );
+        // Every reconstructed instruction lands in exactly one stack.
+        assert_eq!(rec.folded.total(), rec.instr_count);
+        // Determinism: rebuilding from the same messages is identical.
+        let again = reconstruct_flow(&image, &messages).unwrap();
+        assert_eq!(rec.folded.render(), again.folded.render());
+    }
+
+    #[test]
+    fn folded_stacks_nest_isr_under_interrupted_function() {
+        let (image, messages, _) = traced_run(
+            "
+            .org 0x80000000
+        _start:
+            li d0, 0x80002000
+            mtcr biv, d0
+            la a2, 0xF0000000
+            li d1, 2000
+            st.w d1, [a2+0x08]
+            st.w d1, [a2+0x10]
+            movi d2, 1
+            st.w d2, [a2+0x18]
+            la a3, 0xF0006000
+            li d3, 0x104
+            st.w d3, [a3]
+            enable
+            movi d5, 0
+        spin:
+            addi d5, d5, 1
+            li d6, 30000
+            jne d5, d6, spin
+            halt
+            .org 0x80002000 + 4*32
+        isr:
+            addi d7, d7, 1
+            rfe
+        ",
+        );
+        let rec = reconstruct_flow(&image, &messages).unwrap();
+        // The handler nests under the code it interrupted.
+        let nested: u64 = rec
+            .folded
+            .iter()
+            .filter(|(stack, _)| stack.ends_with(";isr"))
+            .map(|(_, n)| n)
+            .sum();
+        assert!(
+            nested >= 4,
+            "isr nested under spin/_start: {}",
+            rec.folded.render()
+        );
+        // At most the lock-on artifact appears rooted.
+        assert!(
+            rec.folded.count("isr") <= 2,
+            "isr rooted beyond the lock-on artifact: {}",
+            rec.folded.render()
         );
     }
 

@@ -88,6 +88,12 @@ pub struct SessionOptions {
     /// Treat the cycle limit as a normal end of measurement rather than an
     /// error (profiling sessions usually observe a fixed time window).
     pub run_to_halt: bool,
+    /// Record the session into an observability registry
+    /// ([`SessionOutcome::obs`]): a cycle-stamped span tree of the session
+    /// phases plus counter samples from every layer (SoC, EEC, tool link).
+    /// Off by default; when off the outcome's registry stays empty and the
+    /// run does no extra work.
+    pub observe: bool,
 }
 
 impl Default for SessionOptions {
@@ -96,6 +102,7 @@ impl Default for SessionOptions {
             max_cycles: 2_000_000,
             drain: DrainPolicy::Offline,
             run_to_halt: false,
+            observe: false,
         }
     }
 }
@@ -123,6 +130,9 @@ pub struct SessionOutcome {
     pub halted: bool,
     /// Tool-link session report (only for [`DrainPolicy::Session`]).
     pub tool: Option<ToolLinkReport>,
+    /// Observability registry (populated only with
+    /// [`SessionOptions::observe`]; disabled and empty otherwise).
+    pub obs: audo_obs::Registry,
 }
 
 impl SessionOutcome {
@@ -172,6 +182,13 @@ pub fn profile(
     let mut produced: u64 = 0;
     let mut halted = false;
     let start = ed.now();
+    let mut obs = if opts.observe {
+        audo_obs::Registry::new()
+    } else {
+        audo_obs::Registry::disabled()
+    };
+    obs.begin_span("session", start.0);
+    obs.begin_span("target.run", start.0);
 
     while ed.now().saturating_sub(start) < opts.max_cycles {
         let step = ed.step()?;
@@ -207,11 +224,20 @@ pub fn profile(
             limit: opts.max_cycles,
         });
     }
+    let run_end = ed.now().0;
+    obs.end_span(run_end);
     // Post-run download of whatever is still buffered.
     let tool_report = match drainer {
         Drainer::Session(mut tool, finish_budget) => {
+            // The finish drain advances only the link clock; its span is
+            // placed after the target run, with the link cycles it spent.
+            let link_before = tool.session.link().now().0;
+            obs.begin_span("drain.finish", run_end);
             let complete = tool.finish_drain(ed, finish_budget);
+            let link_spent = tool.session.link().now().0.saturating_sub(link_before);
+            obs.end_span(run_end + link_spent);
             host_buf.extend_from_slice(&tool.take_collected());
+            tool.session.stats().export_obs(&mut obs);
             Some(ToolLinkReport {
                 stats: *tool.session.stats(),
                 faults: tool.session.fault_stats(),
@@ -220,7 +246,9 @@ pub fn profile(
         }
         _ => {
             let rest = ed.trace.level();
+            obs.begin_span("drain.finish", run_end);
             host_buf.extend_from_slice(&ed.drain_trace(rest as u32)?);
+            obs.end_span(run_end);
             None
         }
     };
@@ -230,6 +258,13 @@ pub fn profile(
     // mid-message; decode leniently and surface the first error.
     let (messages, decode_error) = decode_stream_lossy_shifted(&host_buf, spec.timestamp_shift());
     let timeline = Timeline::from_messages(&messages, &probe_map);
+    ed.export_obs(&mut obs);
+    obs.sample("session.trace_bytes_produced", produced);
+    obs.sample("session.trace_bytes_downloaded", host_buf.len() as u64);
+    obs.sample("session.trace_bytes_lost", lost);
+    obs.sample("session.messages_decoded", messages.len() as u64);
+    let end = obs.stamped();
+    obs.end_span(end);
     Ok(SessionOutcome {
         timeline,
         messages,
@@ -241,6 +276,7 @@ pub fn profile(
         probe_map,
         halted,
         tool: tool_report,
+        obs,
     })
 }
 
@@ -422,6 +458,49 @@ mod tests {
         // stream is complete, or the truncation is flagged — never silent.
         assert_eq!(report.complete, !report.stats.trace_truncated);
         assert!(out.halted);
+    }
+
+    #[test]
+    fn observe_records_spans_and_counters_deterministically() {
+        let run = || {
+            let mut ed = ed_with(PHASED);
+            let spec = ProfileSpec::new().metric(Metric::Ipc, 500);
+            profile(
+                &mut ed,
+                &spec,
+                &SessionOptions {
+                    observe: true,
+                    ..SessionOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.obs.counter("soc.cycles") > 0);
+        assert!(
+            a.obs.counter("iss.instructions_retired") == 0,
+            "no ISS in a SoC session"
+        );
+        assert!(a.obs.counter("soc.tricore.instructions_retired") > 0);
+        assert_eq!(a.obs.counter("session.trace_bytes_lost"), 0);
+        let names: Vec<&str> = a.obs.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["session", "target.run", "drain.finish"]);
+        // Byte-identical exports across identical runs.
+        assert_eq!(
+            audo_obs::chrome::trace_json(&a.obs, "audo", &[]),
+            audo_obs::chrome::trace_json(&b.obs, "audo", &[]),
+        );
+        assert_eq!(
+            audo_obs::metrics_text::render(&a.obs, "audo_"),
+            audo_obs::metrics_text::render(&b.obs, "audo_"),
+        );
+        // Off by default: the registry stays disabled and empty.
+        let mut ed = ed_with(PHASED);
+        let spec = ProfileSpec::new().metric(Metric::Ipc, 500);
+        let quiet = profile(&mut ed, &spec, &SessionOptions::default()).unwrap();
+        assert!(!quiet.obs.is_enabled());
+        assert!(quiet.obs.is_empty());
     }
 
     #[test]

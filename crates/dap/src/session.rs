@@ -289,6 +289,11 @@ pub struct DapSessionStats {
     pub drain_grants: u64,
     /// Arbitration grants to calibration writes.
     pub overlay_grants: u64,
+    /// Link cycles spent in retry backoff waits.
+    pub backoff_cycles: u64,
+    /// Go-back-N rewinds: failed drain transactions that forced a later
+    /// re-request from the same acknowledged offset.
+    pub rewinds: u64,
 }
 
 impl DapSessionStats {
@@ -314,6 +319,30 @@ impl DapSessionStats {
             },
             self.overlay_bytes_written,
         )
+    }
+
+    /// Samples these session counters into an observability registry under
+    /// the `dap.` prefix. Values are absolute snapshots.
+    pub fn export_obs(&self, reg: &mut audo_obs::Registry) {
+        reg.sample("dap.transactions", self.transactions);
+        reg.sample("dap.retries", self.retries);
+        reg.sample("dap.timeouts", self.timeouts);
+        reg.sample("dap.crc_errors", self.crc_errors);
+        reg.sample("dap.mismatches", self.mismatches);
+        reg.sample("dap.naks", self.naks);
+        reg.sample("dap.failed", self.failed);
+        reg.sample("dap.frames_sent", self.frames_sent);
+        reg.sample("dap.frames_received", self.frames_received);
+        reg.sample("dap.bytes_on_wire", self.bytes_on_wire);
+        reg.sample("dap.trace_bytes_drained", self.trace_bytes_drained);
+        reg.sample("dap.trace_bytes_unrecovered", self.trace_bytes_unrecovered);
+        reg.sample("dap.trace_bytes_device_lost", self.trace_bytes_device_lost);
+        reg.sample("dap.trace_truncated", u64::from(self.trace_truncated));
+        reg.sample("dap.overlay_bytes_written", self.overlay_bytes_written);
+        reg.sample("dap.drain_grants", self.drain_grants);
+        reg.sample("dap.overlay_grants", self.overlay_grants);
+        reg.sample("dap.backoff_cycles", self.backoff_cycles);
+        reg.sample("dap.rewinds", self.rewinds);
     }
 }
 
@@ -493,7 +522,9 @@ impl DapSession {
                     }
                     self.stats.timeouts += 1;
                     if attempt < self.cfg.max_attempts {
-                        self.link.advance_cycles(self.backoff(attempt));
+                        let wait = self.backoff(attempt);
+                        self.stats.backoff_cycles += wait;
+                        self.link.advance_cycles(wait);
                     }
                 }
             }
@@ -609,6 +640,16 @@ impl DapSession {
     /// (`trace_acked`) is untouched, so a later call resumes exactly where
     /// this one left off.
     pub fn drain_step(&mut self, ep: &mut dyn DapEndpoint) -> Result<Option<Vec<u8>>, TxError> {
+        let result = self.drain_step_inner(ep);
+        if result.is_err() {
+            // Go-back-N: the ack offset stays put, so the next attempt
+            // re-requests the same window.
+            self.stats.rewinds += 1;
+        }
+        result
+    }
+
+    fn drain_step_inner(&mut self, ep: &mut dyn DapEndpoint) -> Result<Option<Vec<u8>>, TxError> {
         let seq = self.next_seq();
         let mut payload = Vec::with_capacity(12);
         varint::write_u64(&mut payload, self.trace_acked);

@@ -114,6 +114,24 @@ impl EmulationDevice {
         self.mcds = Some(mcds);
     }
 
+    /// Samples the Emulation Device's counters into an observability
+    /// registry: the product chip's counters ([`Soc::export_obs`]) plus the
+    /// EEC-side trace-region bookkeeping (fill level, ring overwrites,
+    /// total bytes produced, EMEM fill ratio).
+    pub fn export_obs(&self, reg: &mut audo_obs::Registry) {
+        self.soc.export_obs(reg);
+        reg.sample("ed.trace.level_bytes", self.trace.level());
+        reg.sample("ed.trace.capacity_bytes", self.trace.capacity());
+        reg.sample("ed.trace.lost_bytes", self.trace.lost());
+        reg.sample("ed.trace.total_written_bytes", self.trace.total_written());
+        if self.trace.capacity() > 0 {
+            reg.gauge(
+                "ed.trace.fill_ratio",
+                self.trace.level() as f64 / self.trace.capacity() as f64,
+            );
+        }
+    }
+
     /// Byte offset inside EMEM where the calibration region starts.
     #[must_use]
     pub fn calibration_offset(&self) -> u32 {

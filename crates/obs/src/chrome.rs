@@ -1,0 +1,160 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the [Trace Event Format] consumed by Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`: spans become `"X"`
+//! (complete) events, counters and gauges become `"C"` (counter) events
+//! sampled at the registry's latest stamped cycle. The `ts`/`dur` fields
+//! are **simulated cycles** (the format nominally wants microseconds —
+//! interpret one display-microsecond as one cycle; `otherData.clock`
+//! records this). Output is deterministic: spans in recording order,
+//! counters in name order, no wall-clock anywhere.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt::Write as _;
+
+use crate::Registry;
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `reg` as a Chrome trace-event JSON object.
+///
+/// `process_name` labels the single exported process (`pid` 1) in the
+/// Perfetto UI. Track names given via `track_names` become thread-name
+/// metadata records (`(tid, name)` pairs, emitted in the given order).
+#[must_use]
+pub fn trace_json(reg: &Registry, process_name: &str, track_names: &[(u32, String)]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        json_escape(process_name)
+    ));
+    for (tid, name) in track_names {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+    for s in reg.spans() {
+        let mut args = String::new();
+        for (i, (k, v)) in s.args.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            let _ = write!(args, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{{args}}}}}",
+            json_escape(&s.name),
+            s.start,
+            s.end - s.start,
+            s.track,
+        ));
+    }
+    let ts = reg.stamped();
+    for (name, value) in reg.counters() {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"tid\":0,\
+             \"args\":{{\"value\":{value}}}}}",
+            json_escape(name),
+        ));
+    }
+    for (name, value) in reg.gauges() {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"tid\":0,\
+             \"args\":{{\"value\":{value}}}}}",
+            json_escape(name),
+        ));
+    }
+    let mut out = String::from("{\n\"displayTimeUnit\": \"ns\",\n");
+    out.push_str("\"otherData\": {\"clock\": \"simulated-cycles\"},\n");
+    out.push_str("\"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut reg = Registry::new();
+        reg.set_track(2);
+        reg.begin_span("session", 0);
+        reg.span("target.run", 0, 900);
+        reg.end_span(1000);
+        reg.add("icache.hits", 42);
+        reg.gauge("emem.fill_ratio", 0.5);
+        reg
+    }
+
+    #[test]
+    fn export_contains_required_keys_and_events() {
+        let json = trace_json(&sample_registry(), "audo", &[(2, "session".into())]);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ts\":0"));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"dur\":1000"));
+        assert!(json.contains("thread_name"));
+        assert!(json.contains("icache.hits"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = trace_json(&sample_registry(), "audo", &[]);
+        let b = trace_json(&sample_registry(), "audo", &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counter_samples_use_latest_stamp() {
+        let mut reg = Registry::new();
+        reg.span("s", 0, 777);
+        reg.add("c", 1);
+        let json = trace_json(&reg, "p", &[]);
+        assert!(json.contains("\"ph\":\"C\",\"ts\":777"));
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let mut reg = Registry::new();
+        reg.add("weird\"name\\", 1);
+        let json = trace_json(&reg, "p\"q", &[]);
+        assert!(json.contains("weird\\\"name\\\\"));
+        assert!(json.contains("p\\\"q"));
+    }
+
+    #[test]
+    fn disabled_registry_exports_metadata_only() {
+        let json = trace_json(&Registry::disabled(), "audo", &[]);
+        assert!(json.contains("process_name"));
+        assert!(!json.contains("\"ph\":\"X\""));
+    }
+}

@@ -1,0 +1,132 @@
+//! Prometheus-style plain-text metrics snapshot.
+//!
+//! One line per sample in the classic exposition format:
+//!
+//! ```text
+//! # TYPE audo_icache_hits counter
+//! audo_icache_hits 4211
+//! # TYPE audo_emem_fill_ratio gauge
+//! audo_emem_fill_ratio 0.25
+//! # TYPE audo_drain_chunk_bytes histogram
+//! audo_drain_chunk_bytes_bucket{le="63"} 2
+//! audo_drain_chunk_bytes_bucket{le="+Inf"} 9
+//! audo_drain_chunk_bytes_sum 512
+//! audo_drain_chunk_bytes_count 9
+//! ```
+//!
+//! Names are sanitised to the Prometheus charset (`[a-zA-Z0-9_:]`, other
+//! characters become `_`), everything is emitted in sorted name order, and
+//! no timestamps are attached (the snapshot is implicitly "at the end of
+//! the simulated run"), so identical runs render byte-identical snapshots.
+
+use std::fmt::Write as _;
+
+use crate::Registry;
+
+/// Sanitises an instrument name into the Prometheus metric charset.
+#[must_use]
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders the snapshot. `prefix` is prepended to every metric name
+/// (conventionally `"audo_"`).
+#[must_use]
+pub fn render(reg: &Registry, prefix: &str) -> String {
+    let mut out = String::new();
+    for (name, value) in reg.counters() {
+        let n = sanitize(&format!("{prefix}{name}"));
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in reg.gauges() {
+        let n = sanitize(&format!("{prefix}{name}"));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, h) in reg.histograms() {
+        let n = sanitize(&format!("{prefix}{name}"));
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.nonzero_buckets() {
+            cumulative += count;
+            if bound != u64::MAX {
+                let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{n}_sum {}", h.sum());
+        let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_sorted() {
+        let mut reg = Registry::new();
+        reg.add("b.hits", 2);
+        reg.add("a.hits", 1);
+        reg.gauge("fill", 0.25);
+        let text = render(&reg, "audo_");
+        let a = text.find("audo_a_hits 1").unwrap();
+        let b = text.find("audo_b_hits 2").unwrap();
+        assert!(a < b, "sorted name order");
+        assert!(text.contains("# TYPE audo_fill gauge"));
+        assert!(text.contains("audo_fill 0.25"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let mut reg = Registry::new();
+        reg.observe("lat", 1);
+        reg.observe("lat", 3);
+        reg.observe("lat", 3);
+        let text = render(&reg, "");
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 3"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_sum 7"));
+        assert!(text.contains("lat_count 3"));
+    }
+
+    #[test]
+    fn sanitize_replaces_invalid_chars() {
+        assert_eq!(sanitize("a.b-c/d"), "a_b_c_d");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn disabled_registry_renders_empty() {
+        assert!(render(&Registry::disabled(), "audo_").is_empty());
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let build = || {
+            let mut reg = Registry::new();
+            reg.add("x", 7);
+            reg.observe("h", 100);
+            reg.gauge("g", 1.5);
+            render(&reg, "audo_")
+        };
+        assert_eq!(build(), build());
+    }
+}

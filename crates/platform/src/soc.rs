@@ -75,6 +75,43 @@ impl Soc {
         self.fabric.sink.set_enabled(enabled);
     }
 
+    /// Samples the SoC's hardware counters into an observability registry.
+    ///
+    /// All values are the simulator-internal ground-truth counters the
+    /// blocks maintain anyway (cache hits/misses, flash buffer activity,
+    /// crossbar grants and contention, DMA beats, retired instructions on
+    /// both cores), so sampling costs nothing during the run itself. The
+    /// registry's time stamp is advanced to the SoC clock.
+    pub fn export_obs(&self, reg: &mut audo_obs::Registry) {
+        reg.stamp(self.clock.0);
+        reg.sample("soc.cycles", self.clock.0);
+        reg.sample(
+            "soc.tricore.instructions_retired",
+            self.tricore.retired_total(),
+        );
+        reg.sample("soc.pcp.instructions_retired", self.pcp.retired_total());
+        let (hits, misses) = self.fabric.icache.stats();
+        reg.sample("soc.icache.hits", hits);
+        reg.sample("soc.icache.misses", misses);
+        let (hits, misses) = self.fabric.dcache.stats();
+        reg.sample("soc.dcache.hits", hits);
+        reg.sample("soc.dcache.misses", misses);
+        let (buf_hits, buf_misses, prefetches) = self.fabric.flash.stats();
+        reg.sample("soc.flash.buffer_hits", buf_hits);
+        reg.sample("soc.flash.buffer_misses", buf_misses);
+        reg.sample("soc.flash.prefetches", prefetches);
+        let (grants, contended) = self.fabric.xbar.stats();
+        reg.sample("soc.xbar.grants", grants);
+        reg.sample("soc.xbar.contended_grants", contended);
+        reg.sample("soc.dma.beats", self.fabric.dma_beats());
+        if self.clock.0 > 0 {
+            reg.gauge(
+                "soc.tricore.ipc",
+                self.tricore.retired_total() as f64 / self.clock.0 as f64,
+            );
+        }
+    }
+
     /// Loads a program image, initialises the CSA free list at the top of
     /// the DSPR, points the stack below it, and redirects the CPU to the
     /// image entry.

@@ -357,6 +357,72 @@ pub enum Pipe {
     Lp,
 }
 
+/// Coarse instruction classification used by the retired-instruction mix
+/// counters (observability layer).
+///
+/// Every [`Instr`] variant maps to exactly one class via [`Instr::class`].
+/// The granularity follows the buckets an architect reads off a workload
+/// characterisation: register moves and immediates, single-cycle ALU ops,
+/// multi-cycle multiply/divide, loads, stores, control flow, and system /
+/// CSFR instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum InstrClass {
+    /// Register-to-register moves, immediate loads and address arithmetic
+    /// that carries no data dependency through the integer pipe.
+    Move,
+    /// Single-cycle integer ALU operations (arithmetic, logic, shifts,
+    /// comparisons, bit-field ops).
+    Alu,
+    /// Multiply, multiply-accumulate, divide and remainder.
+    MulDiv,
+    /// Memory loads (data and address registers).
+    Load,
+    /// Memory stores (data and address registers).
+    Store,
+    /// Jumps, calls, returns and the hardware loop.
+    ControlFlow,
+    /// System instructions: traps, interrupt control, CSFR access,
+    /// `DEBUG`/`WAIT`/`HALT`/`NOP`.
+    System,
+}
+
+impl InstrClass {
+    /// Number of classes (length of a per-class counter array).
+    pub const COUNT: usize = 7;
+
+    /// All classes in counter-index order.
+    pub const ALL: [InstrClass; InstrClass::COUNT] = [
+        InstrClass::Move,
+        InstrClass::Alu,
+        InstrClass::MulDiv,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::ControlFlow,
+        InstrClass::System,
+    ];
+
+    /// Stable lower-case label, suitable as a metric-name component.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            InstrClass::Move => "move",
+            InstrClass::Alu => "alu",
+            InstrClass::MulDiv => "muldiv",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::ControlFlow => "control_flow",
+            InstrClass::System => "system",
+        }
+    }
+
+    /// Index into a `[u64; InstrClass::COUNT]` counter array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 impl Instr {
     /// Returns the pipe this instruction issues to.
     ///
@@ -463,6 +529,75 @@ impl Instr {
             self,
             Instr::St { .. } | Instr::StWPostInc { .. } | Instr::StA { .. }
         )
+    }
+
+    /// Returns the coarse [`InstrClass`] of this instruction, used by the
+    /// observability layer's retired-instruction mix counters.
+    #[must_use]
+    pub fn class(&self) -> InstrClass {
+        use Instr::*;
+        match self {
+            MovD { .. }
+            | MovAA { .. }
+            | MovDtoA { .. }
+            | MovAtoD { .. }
+            | MovI { .. }
+            | MovH { .. }
+            | MovU { .. }
+            | MovHA { .. }
+            | AddIA { .. }
+            | OrIL { .. }
+            | Lea { .. } => InstrClass::Move,
+            Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Min { .. }
+            | Max { .. }
+            | Sh { .. }
+            | Sha { .. }
+            | ShI { .. }
+            | AddI { .. }
+            | AndI { .. }
+            | OrI { .. }
+            | XorI { .. }
+            | Clz { .. }
+            | SextB { .. }
+            | SextH { .. }
+            | ZextB { .. }
+            | ZextH { .. }
+            | Extr { .. }
+            | Insert { .. }
+            | Lt { .. }
+            | LtU { .. }
+            | EqR { .. }
+            | NeR { .. }
+            | Sel { .. } => InstrClass::Alu,
+            Mul { .. } | Mac { .. } | Div { .. } | Rem { .. } => InstrClass::MulDiv,
+            Ld { .. } | LdWPostInc { .. } | LdA { .. } => InstrClass::Load,
+            St { .. } | StWPostInc { .. } | StA { .. } => InstrClass::Store,
+            J { .. }
+            | Jl { .. }
+            | Call { .. }
+            | Ji { .. }
+            | CallI { .. }
+            | Ret
+            | JCond { .. }
+            | Jz { .. }
+            | Jnz { .. }
+            | Loop { .. } => InstrClass::ControlFlow,
+            Rfe
+            | Syscall { .. }
+            | Enable
+            | Disable
+            | Mfcr { .. }
+            | Mtcr { .. }
+            | Debug { .. }
+            | Wait
+            | Halt
+            | Nop => InstrClass::System,
+        }
     }
 }
 

@@ -35,6 +35,7 @@ use crate::decode_cache::{CacheStats, CachedInstr, DecodeCache};
 use crate::encode::decode;
 use crate::exec::{execute, Outcome};
 use crate::image::Image;
+use crate::isa::{Instr, InstrClass};
 use crate::mem::FlatMem;
 
 /// Why a resumable run ([`Iss::run_resumable`]) returned without error.
@@ -96,6 +97,7 @@ pub struct Iss {
     cache: Option<DecodeCache>,
     block_buf: Vec<CachedInstr>,
     events: EventSink,
+    mix: Option<Box<[u64; InstrClass::COUNT]>>,
 }
 
 impl Default for Iss {
@@ -117,6 +119,7 @@ impl Iss {
             cache: None,
             block_buf: Vec::new(),
             events: EventSink::disabled(),
+            mix: None,
         }
     }
 
@@ -182,6 +185,54 @@ impl Iss {
     /// and [`SourceId::TRICORE`] as the source.
     pub fn set_observation(&mut self, enabled: bool) {
         self.events.set_enabled(enabled);
+    }
+
+    /// Enables or disables retired-instruction mix counting.
+    ///
+    /// Off by default: when off, the only cost is one untaken branch per
+    /// retirement (same pattern as event observation). When on, every
+    /// retired instruction bumps a per-[`InstrClass`] counter. Enabling
+    /// resets the counters; disabling drops them.
+    pub fn set_mix_observation(&mut self, enabled: bool) {
+        self.mix = if enabled {
+            Some(Box::new([0; InstrClass::COUNT]))
+        } else {
+            None
+        };
+    }
+
+    /// Retired-instruction counts per [`InstrClass`] (counter-index order
+    /// of [`InstrClass::ALL`]), if mix counting is on.
+    #[must_use]
+    pub fn mix_counts(&self) -> Option<&[u64; InstrClass::COUNT]> {
+        self.mix.as_deref()
+    }
+
+    /// Samples this ISS's counters into an observability registry.
+    ///
+    /// Records the retired-instruction total, decode-cache statistics
+    /// (when the fast path is on) and the per-class instruction mix (when
+    /// mix counting is on), all under the `iss.` prefix. Safe to call at
+    /// any point; values are absolute snapshots.
+    pub fn export_obs(&self, reg: &mut audo_obs::Registry) {
+        reg.sample("iss.instructions_retired", self.instr_count);
+        if let Some(stats) = self.cache_stats() {
+            reg.sample("iss.decode_cache.hits", stats.hits);
+            reg.sample("iss.decode_cache.misses", stats.misses);
+            reg.sample("iss.decode_cache.invalidations", stats.invalidations);
+        }
+        if let Some(mix) = self.mix_counts() {
+            for class in InstrClass::ALL {
+                reg.sample(&format!("iss.mix.{}", class.label()), mix[class.index()]);
+            }
+        }
+    }
+
+    #[inline]
+    fn note_mix(&mut self, instr: &Instr) {
+        if let Some(mix) = self.mix.as_deref_mut() {
+            mix[instr.class().index()] += 1;
+        }
     }
 
     /// Direct access to the architectural state.
@@ -270,6 +321,7 @@ impl Iss {
             .or_else(|_| self.mem.read_bytes(Addr(pc), 2))?;
         let (instr, ilen) = decode(&bytes, Addr(pc))?;
         let out = execute(&mut self.state, &mut self.mem, &instr, pc, ilen)?;
+        self.note_mix(&instr);
         self.note_retired(pc, &out);
         Ok(out)
     }
@@ -301,6 +353,7 @@ impl Iss {
             let ci = self.block_buf[i];
             debug_assert_eq!(self.state.pc, ci.pc, "block dispatch out of sync");
             let out = execute(&mut self.state, &mut self.mem, &ci.instr, ci.pc, ci.len)?;
+            self.note_mix(&ci.instr);
             self.note_retired(ci.pc, &out);
             if self.halted {
                 return Ok(false);

@@ -16,6 +16,13 @@ cargo bench -p audo-bench --bench iss_throughput
 echo "==> BENCH_iss.json (ISS decode-cache fast path speedup)"
 cargo run --release -q -p audo-bench --bin iss_bench -- --json BENCH_iss.json
 
+echo "==> BENCH_obs.json (instrumentation overhead vs the fresh baseline)"
+# Runs right after BENCH_iss.json so baseline and measurement share the
+# same machine state; the instrumentation-disabled fast path must stay
+# within 2% (geomean) of the recorded baseline.
+cargo run --release -q -p audo-bench --bin iss_bench -- \
+    --obs-json BENCH_obs.json --baseline BENCH_iss.json
+
 echo "==> BENCH_experiments.json (paper experiment timings)"
 cargo run --release -q -p audo-bench --bin experiments -- --json BENCH_experiments.json
 

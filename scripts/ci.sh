@@ -29,6 +29,37 @@ for f in crates/dap/src/*.rs; do
     fi
 done
 
+echo "==> observability gate: generate one trace export and validate it"
+# The exports are timestamped in simulated cycles, so this also exercises
+# the determinism contract end to end (tests/obs_determinism.rs pins the
+# byte-identity; here we check the on-disk artifacts are well-formed).
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+./target/release/experiments --filter E2,E9 \
+    --trace-out "$obs_dir/trace.json" \
+    --metrics-out "$obs_dir/metrics.txt" \
+    --flame-out "$obs_dir/flame.txt" >/dev/null
+python3 - "$obs_dir" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+trace = json.load(open(os.path.join(d, "trace.json")))
+events = trace["traceEvents"]
+assert events, "trace export has no events"
+for e in events:
+    for key in ("ph", "pid"):
+        assert key in e, f"trace event missing {key!r}: {e}"
+    if e["ph"] != "M":  # metadata events carry no timestamp
+        assert "ts" in e, f"trace event missing 'ts': {e}"
+metrics = open(os.path.join(d, "metrics.txt")).read()
+assert metrics.strip(), "metrics snapshot is empty"
+assert "# TYPE" in metrics, "metrics snapshot has no TYPE lines"
+flame = open(os.path.join(d, "flame.txt")).read()
+assert flame.strip(), "flame export is empty"
+print(f"obs exports valid: {len(events)} trace events, "
+      f"{len(metrics.splitlines())} metric lines, "
+      f"{len(flame.splitlines())} folded stacks")
+EOF
+
 echo "==> rustdoc gate: cargo doc --no-deps (warnings are errors)"
 # Vendored dependency stand-ins (vendor/*) are workspace members but not
 # ours to document; gate only the audo crates.

@@ -12,6 +12,8 @@
 //! * [`mcds`] — the trigger/trace/rate-measurement block,
 //! * [`ed`] — the Emulation Device (SoC + MCDS + EMEM),
 //! * [`dap`] — the tool-link bandwidth model,
+//! * [`obs`] — deterministic observability (registry + trace/metrics/flame
+//!   exporters, all timestamped in simulated cycles),
 //! * [`profiler`] — profiling sessions, timelines, analysis, optimization,
 //! * [`workloads`] — synthetic automotive applications.
 //!
@@ -23,6 +25,7 @@ pub use audo_common as common;
 pub use audo_dap as dap;
 pub use audo_ed as ed;
 pub use audo_mcds as mcds;
+pub use audo_obs as obs;
 pub use audo_pcp as pcp;
 pub use audo_platform as platform;
 pub use audo_profiler as profiler;

@@ -1,0 +1,84 @@
+//! Observability determinism: every export is timestamped in simulated
+//! cycles (never wall clock), so the same seeded workload must render
+//! byte-identical Chrome-trace, metrics-snapshot, and flamegraph files on
+//! every run — the property that makes exports diffable across commits.
+
+use audo_ed::{EdConfig, EmulationDevice};
+use audo_platform::config::SocConfig;
+use audo_profiler::reconstruct::reconstruct_flow;
+use audo_profiler::session::{profile, SessionOptions};
+use audo_profiler::spec::ProfileSpec;
+use audo_workloads::engine::{engine_control, EngineParams};
+
+/// Runs one traced, observed profiling session and renders all three
+/// exports.
+fn observed_exports() -> (String, String, String) {
+    let p = EngineParams {
+        rpm: 9_000,
+        target_teeth: 8,
+        target_bg_passes: 4,
+        ..EngineParams::default()
+    };
+    let w = engine_control(&p);
+    let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+    w.install_ed(&mut ed).unwrap();
+    let spec = ProfileSpec::new().with_program_trace().with_sync_every(16);
+    let out = profile(
+        &mut ed,
+        &spec,
+        &SessionOptions {
+            max_cycles: w.max_cycles,
+            observe: true,
+            ..SessionOptions::default()
+        },
+    )
+    .unwrap();
+    let rec = reconstruct_flow(&w.image, &out.messages).unwrap();
+    let trace =
+        audo_obs::chrome::trace_json(&out.obs, "audo session", &[(0, String::from("session"))]);
+    let metrics = audo_obs::metrics_text::render(&out.obs, "audo_");
+    let flame = rec.folded.render();
+    (trace, metrics, flame)
+}
+
+#[test]
+fn exports_are_byte_identical_across_runs() {
+    let a = observed_exports();
+    let b = observed_exports();
+    assert_eq!(a.0, b.0, "chrome trace JSON");
+    assert_eq!(a.1, b.1, "metrics snapshot");
+    assert_eq!(a.2, b.2, "folded flame stacks");
+}
+
+#[test]
+fn exports_carry_the_expected_structure() {
+    let (trace, metrics, flame) = observed_exports();
+    // Chrome trace: the three per-event keys the viewers require, plus the
+    // session span tree recorded by `profile`.
+    for key in ["\"traceEvents\"", "\"ph\"", "\"ts\"", "\"pid\"", "\"tid\""] {
+        assert!(trace.contains(key), "trace export missing {key}");
+    }
+    for span in ["\"session\"", "\"target.run\"", "\"drain.finish\""] {
+        assert!(trace.contains(span), "trace export missing span {span}");
+    }
+    // Metrics snapshot: non-empty, typed, and carrying counters from
+    // several layers of the stack.
+    assert!(metrics.contains("# TYPE"));
+    for name in [
+        "audo_soc_cycles",
+        "audo_soc_tricore_instructions_retired",
+        "audo_ed_trace_total_written_bytes",
+        "audo_session_trace_bytes_produced",
+    ] {
+        assert!(metrics.contains(name), "metrics snapshot missing {name}");
+    }
+    // Flame stacks: semicolon-joined frames with positive self counts,
+    // including at least one nested (caller;callee) stack.
+    assert!(!flame.is_empty());
+    assert!(flame.lines().any(|l| l.contains(';')), "no nested stack");
+    for line in flame.lines() {
+        let (_, count) = line.rsplit_once(' ').expect("folded line has a count");
+        let count: u64 = count.parse().expect("folded count is a number");
+        assert!(count > 0, "zero-count folded line: {line}");
+    }
+}

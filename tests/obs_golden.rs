@@ -1,0 +1,78 @@
+//! Golden-file check of the observability exports: a fixed seeded workload
+//! must render the exact committed Chrome-trace, metrics-snapshot, and
+//! flamegraph bytes. Because every timestamp is a simulated cycle, the
+//! goldens are machine-independent; they change only when target timing,
+//! instrumentation points, or an exporter format genuinely change.
+//!
+//! To refresh after an intentional change:
+//!
+//! ```text
+//! OBS_GOLDEN_REGEN=1 cargo test --test obs_golden
+//! ```
+//!
+//! and commit the updated files under `tests/golden/` with an explanation.
+
+use audo_ed::{EdConfig, EmulationDevice};
+use audo_platform::config::SocConfig;
+use audo_profiler::reconstruct::reconstruct_flow;
+use audo_profiler::session::{profile, SessionOptions};
+use audo_profiler::spec::ProfileSpec;
+use audo_workloads::engine::{engine_control, EngineParams};
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("OBS_GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); see file header", path.display()));
+    assert!(
+        expected == actual,
+        "{name} diverged from the committed golden. If the change is \
+         intentional, regenerate with OBS_GOLDEN_REGEN=1 cargo test --test \
+         obs_golden and commit the diff."
+    );
+}
+
+#[test]
+fn seeded_session_matches_committed_goldens() {
+    let p = EngineParams {
+        rpm: 6_000,
+        target_teeth: 5,
+        target_bg_passes: 3,
+        ..EngineParams::default()
+    };
+    let w = engine_control(&p);
+    let mut ed = EmulationDevice::new(SocConfig::default(), EdConfig::default());
+    w.install_ed(&mut ed).unwrap();
+    let spec = ProfileSpec::new().with_program_trace().with_sync_every(16);
+    let out = profile(
+        &mut ed,
+        &spec,
+        &SessionOptions {
+            max_cycles: w.max_cycles,
+            observe: true,
+            ..SessionOptions::default()
+        },
+    )
+    .unwrap();
+    let rec = reconstruct_flow(&w.image, &out.messages).unwrap();
+
+    check_golden(
+        "session_trace.json",
+        &audo_obs::chrome::trace_json(&out.obs, "audo session", &[(0, String::from("session"))]),
+    );
+    check_golden(
+        "session_metrics.txt",
+        &audo_obs::metrics_text::render(&out.obs, "audo_"),
+    );
+    check_golden("session_flame.txt", &rec.folded.render());
+}

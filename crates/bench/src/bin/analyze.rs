@@ -1,0 +1,183 @@
+//! Static guest-image analyzer CLI: recovers the CFG of a workload
+//! image, classifies every static memory access against the platform
+//! memory map, reports contract violations and multi-master hazards, and
+//! optionally cross-checks a measured metrics snapshot against the
+//! static rate bounds.
+//!
+//! ```text
+//! cargo run --release -p audo-bench --bin analyze -- [options]
+//!
+//!   --workload NAME[:flags]  workload to analyze (default: engine).
+//!                            NAME is engine | transmission | chassis;
+//!                            engine flags (comma-separated): dspr-tables,
+//!                            pspr-isrs, pcp-can, dspr-bg
+//!   --config NAME            platform derivative: tc1797 (default) or
+//!                            tc1767
+//!   --json                   print the machine-readable JSON report
+//!                            instead of the rustc-style text report
+//!   --measure PATH           additionally run the workload to halt and
+//!                            write a Prometheus-style metrics snapshot
+//!   --check-against PATH     load a metrics snapshot (from --measure or
+//!                            experiments --metrics-out) and print the
+//!                            static-vs-measured divergence table
+//! ```
+//!
+//! Exit status: 0 clean, 1 the analysis reported errors, 2 the measured
+//! snapshot diverged from the static bounds (or the command line / a
+//! file operation was invalid).
+
+use audo_analyze::{analyze, predict, MasterRanges};
+use audo_platform::config::SocConfig;
+use audo_platform::Soc;
+use audo_workloads::engine::{engine_control, EngineParams};
+use audo_workloads::{variants, Workload};
+
+struct Args {
+    workload: String,
+    config: String,
+    json: bool,
+    measure: Option<String>,
+    check_against: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: "engine".to_string(),
+        config: "tc1797".to_string(),
+        json: false,
+        measure: None,
+        check_against: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workload" => {
+                args.workload = it.next().ok_or("--workload needs a value")?;
+            }
+            "--config" => {
+                args.config = it.next().ok_or("--config needs a value")?;
+            }
+            "--json" => args.json = true,
+            "--measure" => {
+                args.measure = Some(it.next().ok_or("--measure needs a path")?);
+            }
+            "--check-against" => {
+                args.check_against = Some(it.next().ok_or("--check-against needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: analyze [--workload NAME[:flags]] [--config tc1797|tc1767] \
+                     [--json] [--measure PATH] [--check-against PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_workload(spec: &str) -> Result<Workload, String> {
+    let (name, flags) = match spec.split_once(':') {
+        Some((n, f)) => (n, f),
+        None => (spec, ""),
+    };
+    match name {
+        "engine" => {
+            let mut p = EngineParams::default();
+            for flag in flags.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                match flag {
+                    "dspr-tables" => p.tables_in_dspr = true,
+                    "pspr-isrs" => p.isrs_in_pspr = true,
+                    "pcp-can" => p.can_on_pcp = true,
+                    "dspr-bg" => {
+                        p.bg_in_dspr = true;
+                        p.tables_in_dspr = true; // required by the knob
+                    }
+                    other => return Err(format!("unknown engine flag {other:?}")),
+                }
+            }
+            Ok(engine_control(&p))
+        }
+        "transmission" => Ok(variants::transmission_control(10)),
+        "chassis" => Ok(variants::chassis_monitor(40, 2_000)),
+        other => Err(format!(
+            "unknown workload {other:?} (engine, transmission, chassis)"
+        )),
+    }
+}
+
+fn build_config(name: &str) -> Result<SocConfig, String> {
+    match name {
+        "tc1797" => Ok(SocConfig::tc1797()),
+        "tc1767" => Ok(SocConfig::tc1767()),
+        other => Err(format!("unknown config {other:?} (tc1797, tc1767)")),
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let args = parse_args()?;
+    let w = build_workload(&args.workload)?;
+    let cfg = build_config(&args.config)?;
+
+    // Install into a fresh SoC so the DMA programming the workload's
+    // setup hook performs is visible to the hazard detector.
+    let mut soc = Soc::new(cfg.clone());
+    w.install(&mut soc)
+        .map_err(|e| format!("workload install failed: {e}"))?;
+    let pcp = w.pcp().map(|p| {
+        let entries: Vec<u16> = p.channels.iter().map(|&(_, e)| e).collect();
+        (p.words.clone(), p.base, entries)
+    });
+    let masters = match &pcp {
+        Some((words, base, entries)) => MasterRanges::derive(
+            &soc.fabric.dma,
+            Some((words.as_slice(), *base, entries.as_slice())),
+        ),
+        None => MasterRanges::derive(&soc.fabric.dma, None),
+    };
+    let a = analyze(&w.image, &cfg, &masters, &w.name);
+
+    if args.json {
+        println!("{}", a.to_json());
+    } else {
+        print!("{}", a.to_text());
+    }
+
+    if let Some(path) = &args.measure {
+        soc.run_to_halt(w.max_cycles)
+            .map_err(|e| format!("workload run failed: {e}"))?;
+        let mut reg = audo_obs::Registry::new();
+        soc.export_obs(&mut reg);
+        let body = audo_obs::metrics_text::render(&reg, "audo_");
+        std::fs::write(path, body).map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    let mut diverged = false;
+    if let Some(path) = &args.check_against {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        let rows = predict::check(&a.prediction, &predict::parse_snapshot(&text));
+        print!("{}", predict::render_check(&w.name, &rows));
+        diverged = rows.iter().any(|r| !r.ok());
+    }
+
+    if diverged {
+        Ok(2)
+    } else if a.error_count() > 0 {
+        Ok(1)
+    } else {
+        Ok(0)
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -116,6 +116,7 @@ fn write_obs_exports(args: &Args, reports: &[audo_bench::TimedReport]) -> Result
     let mut tracks: Vec<(u32, String)> = Vec::new();
     let mut flame = audo_obs::FoldedStacks::new();
     for (i, t) in reports.iter().enumerate() {
+        // reason: the experiment list is tiny; i + 1 always fits u32.
         #[allow(clippy::cast_possible_truncation)]
         let track = (i + 1) as u32;
         merged.merge_from(&format!("{}.", t.report.id), &t.report.obs, track);

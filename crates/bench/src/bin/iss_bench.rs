@@ -171,6 +171,7 @@ fn write_obs_exports(args: &Args, workloads: &[Workload]) {
     let mut merged = audo_obs::Registry::new();
     let mut tracks: Vec<(u32, String)> = Vec::new();
     for (i, w) in workloads.iter().enumerate() {
+        // reason: the workload list is tiny; i + 1 always fits u32.
         #[allow(clippy::cast_possible_truncation)]
         let track = (i + 1) as u32;
         let reg = observed_run(w);

@@ -1685,7 +1685,7 @@ pub fn e16_tool_link() -> Result<Report, SimError> {
     let st = *tool.session.stats();
     if r.obs.is_enabled() {
         let mut arb = audo_obs::Registry::new();
-        st.export_obs(&mut arb);
+        tool.session.export_obs(&mut arb);
         ed.export_obs(&mut arb);
         r.obs.merge_from("arb.", &arb, 1);
     }
@@ -1694,6 +1694,51 @@ pub fn e16_tool_link() -> Result<Report, SimError> {
         "arbitration: {} trace B drained, {} overlay B written, grants drain/overlay {}/{}",
         st.trace_bytes_drained, st.overlay_bytes_written, st.drain_grants, st.overlay_grants
     ));
+    // Latency and wire-size distributions from the arbitration run: the
+    // session's transaction-latency histogram, and the encoded sizes of the
+    // trace messages it drained. Percentiles report the bucket upper bound.
+    let collected = tool.take_collected();
+    let mut msg_sizes = Vec::new();
+    let _ = audo_mcds::msg::decode_stream_lossy_shifted_sized(&collected, 0, &mut msg_sizes);
+    let mut msg_hist = audo_obs::Histogram::default();
+    for s in &msg_sizes {
+        msg_hist.record(*s as u64);
+    }
+    if r.obs.is_enabled() {
+        r.obs.observe_histogram("arb.mcds.message_bytes", &msg_hist);
+    }
+    let lat = tool.session.latency_histogram();
+    r.line(format!(
+        "link transaction cycles: p50 <= {}, p90 <= {}, p99 <= {} ({} transactions)",
+        lat.percentile(50.0),
+        lat.percentile(90.0),
+        lat.percentile(99.0),
+        lat.count(),
+    ));
+    r.line(format!(
+        "trace message bytes: p50 <= {}, p90 <= {}, p99 <= {} ({} messages)",
+        msg_hist.percentile(50.0),
+        msg_hist.percentile(90.0),
+        msg_hist.percentile(99.0),
+        msg_hist.count(),
+    ));
+    r.field("arb_txn_cycles_p50", lat.percentile(50.0));
+    r.field("arb_txn_cycles_p99", lat.percentile(99.0));
+    r.field("arb_msg_bytes_p50", msg_hist.percentile(50.0));
+    r.field("arb_msg_bytes_p99", msg_hist.percentile(99.0));
+    r.check(
+        "latency percentiles populated and monotone",
+        lat.count() > 0
+            && lat.percentile(50.0) > 0
+            && lat.percentile(50.0) <= lat.percentile(90.0)
+            && lat.percentile(90.0) <= lat.percentile(99.0),
+    );
+    r.check(
+        "message-size percentiles populated and monotone",
+        msg_hist.count() > 0
+            && msg_hist.percentile(50.0) > 0
+            && msg_hist.percentile(50.0) <= msg_hist.percentile(99.0),
+    );
     r.field("arb_trace_bytes", st.trace_bytes_drained);
     r.field("arb_overlay_bytes", st.overlay_bytes_written);
     r.check(

@@ -12,7 +12,7 @@ use audo_common::{Cycle, SimError};
 use audo_dap::session::{ArbitrationPolicy, DapSession, DapSessionStats, HostTool, SessionConfig};
 use audo_dap::{DapConfig, DapLink, FaultConfig, FaultStats};
 use audo_ed::EmulationDevice;
-use audo_mcds::msg::decode_stream_lossy_shifted;
+use audo_mcds::msg::decode_stream_lossy_shifted_sized;
 use audo_mcds::TraceMessage;
 
 use crate::spec::{ProbeMap, ProfileSpec};
@@ -237,7 +237,7 @@ pub fn profile(
             let link_spent = tool.session.link().now().0.saturating_sub(link_before);
             obs.end_span(run_end + link_spent);
             host_buf.extend_from_slice(&tool.take_collected());
-            tool.session.stats().export_obs(&mut obs);
+            tool.session.export_obs(&mut obs);
             Some(ToolLinkReport {
                 stats: *tool.session.stats(),
                 faults: tool.session.fault_stats(),
@@ -256,9 +256,16 @@ pub fn profile(
     let lost = ed.trace.lost();
     // Overflow (ring overwrite / linear drop) can cut the stream
     // mid-message; decode leniently and surface the first error.
-    let (messages, decode_error) = decode_stream_lossy_shifted(&host_buf, spec.timestamp_shift());
+    let mut msg_sizes = Vec::new();
+    let (messages, decode_error) =
+        decode_stream_lossy_shifted_sized(&host_buf, spec.timestamp_shift(), &mut msg_sizes);
     let timeline = Timeline::from_messages(&messages, &probe_map);
     ed.export_obs(&mut obs);
+    let mut size_hist = audo_obs::Histogram::default();
+    for s in &msg_sizes {
+        size_hist.record(*s as u64);
+    }
+    obs.observe_histogram("mcds.message_bytes", &size_hist);
     obs.sample("session.trace_bytes_produced", produced);
     obs.sample("session.trace_bytes_downloaded", host_buf.len() as u64);
     obs.sample("session.trace_bytes_lost", lost);

@@ -148,6 +148,8 @@ impl DapLink {
     /// truncation loss; f64 stays exact far beyond any simulated run
     /// (~2^53 millibyte-cycles).
     fn total_millibytes(&self) -> u64 {
+        // reason: product is non-negative and stays far below 2^53, so the
+        // f64 round-trip is exact; the casts cannot truncate or lose sign.
         #[allow(
             clippy::cast_precision_loss,
             clippy::cast_possible_truncation,

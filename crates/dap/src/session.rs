@@ -357,6 +357,7 @@ pub struct DapSession {
     trace_acked: u64,
     stats: DapSessionStats,
     attempt_starts: Vec<u64>,
+    latency: audo_obs::Histogram,
 }
 
 impl DapSession {
@@ -371,6 +372,7 @@ impl DapSession {
             trace_acked: 0,
             stats: DapSessionStats::default(),
             attempt_starts: Vec::new(),
+            latency: audo_obs::Histogram::default(),
         }
     }
 
@@ -409,6 +411,20 @@ impl DapSession {
         self.trace_acked
     }
 
+    /// Link-cycle latency distribution of completed transactions, measured
+    /// from the first attempt's start (so retries and backoff count).
+    #[must_use]
+    pub fn latency_histogram(&self) -> &audo_obs::Histogram {
+        &self.latency
+    }
+
+    /// Samples the session counters and the transaction-latency histogram
+    /// into an observability registry under the `dap.` prefix.
+    pub fn export_obs(&self, reg: &mut audo_obs::Registry) {
+        self.stats.export_obs(reg);
+        reg.observe_histogram("dap.transaction_cycles", &self.latency);
+    }
+
     /// Link-cycle timestamps at which the most recent transaction started
     /// each attempt (pinned by the retry-schedule regression test).
     #[must_use]
@@ -422,6 +438,8 @@ impl DapSession {
     #[must_use]
     pub fn transaction_cycle_bound(&self, cmd_len: usize, resp_len: usize) -> u64 {
         let bpc = self.link.config().bytes_per_cpu_cycle();
+        // reason: frame lengths are bounded by MAX_PAYLOAD and bpc > 0, so
+        // ceil() yields a small non-negative integer the casts keep exact.
         #[allow(
             clippy::cast_precision_loss,
             clippy::cast_possible_truncation,
@@ -506,6 +524,8 @@ impl DapSession {
             match outcome {
                 Some(Ok(f)) => {
                     self.stats.transactions += 1;
+                    self.latency
+                        .record(self.link.now().0 - self.attempt_starts[0]);
                     return Ok(f);
                 }
                 Some(Err(e)) => {
@@ -583,6 +603,7 @@ impl DapSession {
         assert!(len <= MAX_PAYLOAD, "block read larger than a frame");
         let seq = self.next_seq();
         let mut payload = addr.to_le_bytes().to_vec();
+        // reason: the assert above bounds len to MAX_PAYLOAD (< u16::MAX).
         #[allow(clippy::cast_possible_truncation)]
         payload.extend_from_slice(&(len as u16).to_le_bytes());
         let cmd = Frame::new(FrameKind::BlockRead, seq, payload);
@@ -653,6 +674,7 @@ impl DapSession {
         let seq = self.next_seq();
         let mut payload = Vec::with_capacity(12);
         varint::write_u64(&mut payload, self.trace_acked);
+        // reason: min() caps the chunk at MAX_PAYLOAD - 32 (< u16::MAX).
         #[allow(clippy::cast_possible_truncation)]
         let chunk = self.cfg.trace_chunk.min(MAX_PAYLOAD - 32) as u16;
         payload.extend_from_slice(&chunk.to_le_bytes());
@@ -969,6 +991,24 @@ mod tests {
         assert_eq!(s.stats().transactions, 2);
         assert_eq!(s.stats().retries, 0);
         assert_eq!(s.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn latency_histogram_counts_completed_transactions() {
+        let mut ep = MockEndpoint::new(Vec::new());
+        let mut s = session(FaultConfig::lossless());
+        s.reg_write(&mut ep, 0x100, 1).unwrap();
+        assert_eq!(s.reg_read(&mut ep, 0x100).unwrap(), 1);
+        let h = s.latency_histogram();
+        assert_eq!(h.count(), s.stats().transactions);
+        assert!(h.sum() > 0, "wire + turnaround cycles must be nonzero");
+        let mut reg = audo_obs::Registry::new();
+        s.export_obs(&mut reg);
+        let exported = reg
+            .histograms()
+            .find(|(name, _)| *name == "dap.transaction_cycles")
+            .map(|(_, h)| h.count());
+        assert_eq!(exported, Some(2));
     }
 
     #[test]

@@ -67,6 +67,7 @@ impl DapEndpoint for EmulationDevice {
         // 2. Top the replay window up from the trace controller.
         let need = max.saturating_sub(self.tool_port.inflight.len());
         if need > 0 {
+            // reason: min() clamps to u32::MAX before the cast.
             #[allow(clippy::cast_possible_truncation)]
             let fresh = self.drain_trace(need.min(u32::MAX as usize) as u32)?;
             self.tool_port.inflight.extend_from_slice(&fresh);
@@ -138,6 +139,7 @@ mod tests {
         let mut direct = traced_ed();
         direct.run(1_000_000, |_| {}).unwrap();
         let level = direct.trace.level();
+        // reason: a 1M-cycle test run fills far less than 4 GiB of trace.
         #[allow(clippy::cast_possible_truncation)]
         let want = direct.drain_trace(level as u32).unwrap();
         let mut via_port = traced_ed();

@@ -267,7 +267,7 @@ impl Encoder {
 ///
 /// Returns [`SimError::DecodeTrace`] on malformed input.
 pub fn decode_stream(bytes: &[u8]) -> Result<Vec<(Cycle, TraceMessage)>, SimError> {
-    let (msgs, err) = decode_stream_inner(bytes, 0);
+    let (msgs, err) = decode_stream_inner(bytes, 0, None);
     match err {
         Some(e) => Err(e),
         None => Ok(msgs),
@@ -284,7 +284,7 @@ pub fn decode_stream_shifted(
     bytes: &[u8],
     shift: u8,
 ) -> Result<Vec<(Cycle, TraceMessage)>, SimError> {
-    let (msgs, err) = decode_stream_inner(bytes, shift);
+    let (msgs, err) = decode_stream_inner(bytes, shift, None);
     match err {
         Some(e) => Err(e),
         None => Ok(msgs),
@@ -296,7 +296,7 @@ pub fn decode_stream_shifted(
 /// error that stopped decoding, if any.
 #[must_use]
 pub fn decode_stream_lossy(bytes: &[u8]) -> (Vec<(Cycle, TraceMessage)>, Option<SimError>) {
-    decode_stream_inner(bytes, 0)
+    decode_stream_inner(bytes, 0, None)
 }
 
 /// Lossy decode with a timestamp shift (see [`Encoder::with_shift`]).
@@ -305,10 +305,27 @@ pub fn decode_stream_lossy_shifted(
     bytes: &[u8],
     shift: u8,
 ) -> (Vec<(Cycle, TraceMessage)>, Option<SimError>) {
-    decode_stream_inner(bytes, shift)
+    decode_stream_inner(bytes, shift, None)
 }
 
-fn decode_stream_inner(bytes: &[u8], shift: u8) -> (Vec<(Cycle, TraceMessage)>, Option<SimError>) {
+/// Lossy shifted decode that also reports each message's encoded size in
+/// bytes (header + timestamp + payload), in stream order — the input for
+/// wire-compression histograms. `sizes.len()` always equals the number of
+/// messages returned.
+#[must_use]
+pub fn decode_stream_lossy_shifted_sized(
+    bytes: &[u8],
+    shift: u8,
+    sizes: &mut Vec<usize>,
+) -> (Vec<(Cycle, TraceMessage)>, Option<SimError>) {
+    decode_stream_inner(bytes, shift, Some(sizes))
+}
+
+fn decode_stream_inner(
+    bytes: &[u8],
+    shift: u8,
+    mut sizes: Option<&mut Vec<usize>>,
+) -> (Vec<(Cycle, TraceMessage)>, Option<SimError>) {
     let mut out = Vec::new();
     let mut pos = 0usize;
     let mut cycle = 0u64;
@@ -444,6 +461,9 @@ fn decode_stream_inner(bytes: &[u8], shift: u8) -> (Vec<(Cycle, TraceMessage)>, 
             }
         };
         out.push((Cycle(cycle), msg));
+        if let Some(sizes) = sizes.as_deref_mut() {
+            sizes.push(pos - start);
+        }
     }
     (out, None)
 }
@@ -551,6 +571,30 @@ mod tests {
             ),
             (100, TraceMessage::Overflow { lost: 4096 }),
         ]);
+    }
+
+    #[test]
+    fn sized_decode_partitions_the_stream_exactly() {
+        let mut enc = Encoder::new();
+        let mut buf = Vec::new();
+        let msgs = [
+            TraceMessage::FlowDirect {
+                source: SourceId::TRICORE,
+                icnt: 17,
+            },
+            TraceMessage::Watchpoint { code: 42 },
+            TraceMessage::Overflow { lost: 4096 },
+        ];
+        for (i, m) in msgs.iter().enumerate() {
+            enc.emit(Cycle(i as u64 * 10), m, &mut buf);
+        }
+        let mut sizes = Vec::new();
+        let (decoded, err) = decode_stream_lossy_shifted_sized(&buf, 0, &mut sizes);
+        assert!(err.is_none());
+        assert_eq!(decoded.len(), msgs.len());
+        assert_eq!(sizes.len(), msgs.len());
+        assert_eq!(sizes.iter().sum::<usize>(), buf.len());
+        assert!(sizes.iter().all(|&s| s >= 2), "header + timestamp minimum");
     }
 
     #[test]

@@ -129,7 +129,7 @@ impl Cond {
 
     /// `NOT a` helper.
     #[must_use]
-    #[allow(clippy::should_implement_trait)] // combinator DSL, not ops::Not
+    #[allow(clippy::should_implement_trait)] // reason: combinator DSL constructor taking an operand, not ops::Not on self
     pub fn not(a: Cond) -> Cond {
         Cond::Not(Box::new(a))
     }

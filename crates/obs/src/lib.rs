@@ -96,6 +96,37 @@ impl Histogram {
         self.sum
     }
 
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (i, n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Upper bound of the bucket holding the `p`-th percentile sample
+    /// (`p` in `0..=100`), i.e. an upper bound on the true quantile with
+    /// power-of-two resolution. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // reason: count is a sample tally (far below 2^53) and the product
+        // is clamped non-negative, so the f64 rank math is exact enough.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (bound, n) in self.nonzero_buckets() {
+            seen += n;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        u64::MAX
+    }
+
     /// Iterates the non-empty buckets as `(inclusive upper bound, count)`.
     /// The final bucket's bound is `u64::MAX`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -250,6 +281,19 @@ impl Registry {
             .record(value);
     }
 
+    /// Merges a pre-recorded histogram into the named histogram (used by
+    /// components that keep their own [`Histogram`] during a run and
+    /// publish it once at export time).
+    pub fn observe_histogram(&mut self, name: &str, h: &Histogram) {
+        if !self.enabled || h.count() == 0 {
+            return;
+        }
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
     /// Opens a nested span at `cycle` on the current track.
     pub fn begin_span(&mut self, name: &str, cycle: u64) {
         if !self.enabled {
@@ -365,12 +409,10 @@ impl Registry {
             self.gauges.insert(format!("{prefix}{k}"), v);
         }
         for (k, h) in &other.histograms {
-            let dst = self.histograms.entry(format!("{prefix}{k}")).or_default();
-            for (i, n) in h.buckets.iter().enumerate() {
-                dst.buckets[i] += n;
-            }
-            dst.count += h.count;
-            dst.sum = dst.sum.saturating_add(h.sum);
+            self.histograms
+                .entry(format!("{prefix}{k}"))
+                .or_default()
+                .merge(h);
         }
         for s in &other.spans {
             self.spans.push(Span { track, ..s.clone() });
@@ -456,6 +498,37 @@ mod tests {
         assert_eq!(a.counter("e2_hits"), 2);
         assert_eq!(a.spans()[0].track, 7);
         assert_eq!(a.histograms().next().unwrap().0, "e2_lat");
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_buckets() {
+        let mut h = Histogram::default();
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        // 9 of 10 samples are 1: p50 and p90 resolve to bucket bound 1,
+        // p99/p100 to the bucket holding 1000 (bound 1023).
+        assert_eq!(h.percentile(50.0), 1);
+        assert_eq!(h.percentile(90.0), 1);
+        assert_eq!(h.percentile(99.0), 1023);
+        assert_eq!(h.percentile(100.0), 1023);
+        assert_eq!(Histogram::default().percentile(50.0), 0);
+    }
+
+    #[test]
+    fn observe_histogram_merges_samples() {
+        let mut h = Histogram::default();
+        h.record(4);
+        h.record(9);
+        let mut reg = Registry::new();
+        reg.observe("lat", 2);
+        reg.observe_histogram("lat", &h);
+        let (_, merged) = reg.histograms().next().unwrap();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum(), 15);
+        // Empty histograms contribute nothing (and create no entry).
+        reg.observe_histogram("other", &Histogram::default());
+        assert_eq!(reg.histograms().count(), 1);
     }
 
     #[test]

@@ -41,6 +41,70 @@ pub const OVC_BASE: Addr = Addr(0xF000_5000);
 /// Service request control (interrupt router) MMIO base.
 pub const SRC_BASE: Addr = Addr(0xF000_6000);
 
+/// Memory regions of the AUDO-class map.
+///
+/// This is the *configured* map: region boundaries depend on the memory
+/// sizes in [`SocConfig`], so classification is a method on the config
+/// ([`SocConfig::region_of`]) rather than a pure address predicate. The
+/// fabric re-exports this type and routes bus traffic with the same
+/// classification, which keeps static analysis (`audo-analyze`) and the
+/// dynamic bus model in exact agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Data scratchpad (core-local, zero wait states).
+    Dspr,
+    /// Program scratchpad.
+    Pspr,
+    /// System SRAM via the crossbar.
+    Sram,
+    /// Program flash, cached view (segment `0x8`).
+    PflashCached,
+    /// Program flash, uncached alias (segment `0xA`).
+    PflashUncached,
+    /// Data flash (EEPROM emulation).
+    Dflash,
+    /// Emulation memory.
+    Emem,
+    /// Peripheral registers.
+    Periph,
+    /// Nothing mapped.
+    Unmapped,
+}
+
+impl Region {
+    /// Short lower-case name, stable across releases (used in findings
+    /// JSON and reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Dspr => "dspr",
+            Region::Pspr => "pspr",
+            Region::Sram => "sram",
+            Region::PflashCached => "pflash",
+            Region::PflashUncached => "pflash-uncached",
+            Region::Dflash => "dflash",
+            Region::Emem => "emem",
+            Region::Periph => "periph",
+            Region::Unmapped => "unmapped",
+        }
+    }
+
+    /// Both views of the program flash array.
+    #[must_use]
+    pub fn is_pflash(self) -> bool {
+        matches!(self, Region::PflashCached | Region::PflashUncached)
+    }
+
+    /// Whether plain CPU stores to this region are legal on the modelled
+    /// device. Program flash has no write port on the bus (programming
+    /// goes through a command sequence the model does not implement), and
+    /// unmapped addresses trap.
+    #[must_use]
+    pub fn cpu_writable(self) -> bool {
+        !self.is_pflash() && self != Region::Unmapped
+    }
+}
+
 /// Cache geometry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -216,6 +280,37 @@ impl SocConfig {
             dspr_size: ByteSize::kib(68),
             emem_size: ByteSize::kib(256),
             ..SocConfig::default()
+        }
+    }
+
+    /// Classifies an address against the configured memory map.
+    ///
+    /// The same classification the fabric uses to route bus traffic; see
+    /// [`Region`].
+    #[must_use]
+    pub fn region_of(&self, addr: Addr) -> Region {
+        if addr.in_range(DSPR_BASE, self.dspr_size.bytes() as u32) {
+            Region::Dspr
+        } else if addr.in_range(PSPR_BASE, self.pspr_size.bytes() as u32) {
+            Region::Pspr
+        } else if addr.in_range(SRAM_BASE, self.sram_size.bytes() as u32) {
+            Region::Sram
+        } else if addr.in_range(PFLASH_BASE, self.pflash_size.bytes() as u32) {
+            Region::PflashCached
+        } else if addr.segment() == PFLASH_UNCACHED_SEG
+            && addr
+                .with_segment(0x8)
+                .in_range(PFLASH_BASE, self.pflash_size.bytes() as u32)
+        {
+            Region::PflashUncached
+        } else if addr.in_range(DFLASH_BASE, self.dflash_size.bytes() as u32) {
+            Region::Dflash
+        } else if addr.in_range(EMEM_BASE, self.emem_size.bytes() as u32) {
+            Region::Emem
+        } else if addr.segment() == 0xF {
+            Region::Periph
+        } else {
+            Region::Unmapped
         }
     }
 

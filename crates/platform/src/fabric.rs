@@ -28,28 +28,7 @@ use crate::irq::{IrqRouter, Service, SrnConfig};
 use crate::periph::{Adc, CanRx, Crank, Stm};
 use crate::xbar::{Slave, Xbar};
 
-/// Memory regions of the AUDO-class map.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Region {
-    /// Data scratchpad (core-local, zero wait states).
-    Dspr,
-    /// Program scratchpad.
-    Pspr,
-    /// System SRAM via the crossbar.
-    Sram,
-    /// Program flash, cached view (segment `0x8`).
-    PflashCached,
-    /// Program flash, uncached alias (segment `0xA`).
-    PflashUncached,
-    /// Data flash (EEPROM emulation).
-    Dflash,
-    /// Emulation memory.
-    Emem,
-    /// Peripheral registers.
-    Periph,
-    /// Nothing mapped.
-    Unmapped,
-}
+pub use crate::config::Region;
 
 /// One calibration-overlay page-map entry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -212,32 +191,10 @@ impl Fabric {
         }
     }
 
-    /// Classifies an address.
+    /// Classifies an address (delegates to [`SocConfig::region_of`]).
     #[must_use]
     pub fn region_of(&self, addr: Addr) -> Region {
-        if addr.in_range(DSPR_BASE, self.cfg.dspr_size.bytes() as u32) {
-            Region::Dspr
-        } else if addr.in_range(PSPR_BASE, self.cfg.pspr_size.bytes() as u32) {
-            Region::Pspr
-        } else if addr.in_range(SRAM_BASE, self.cfg.sram_size.bytes() as u32) {
-            Region::Sram
-        } else if addr.in_range(PFLASH_BASE, self.cfg.pflash_size.bytes() as u32) {
-            Region::PflashCached
-        } else if addr.segment() == PFLASH_UNCACHED_SEG
-            && addr
-                .with_segment(0x8)
-                .in_range(PFLASH_BASE, self.cfg.pflash_size.bytes() as u32)
-        {
-            Region::PflashUncached
-        } else if addr.in_range(DFLASH_BASE, self.cfg.dflash_size.bytes() as u32) {
-            Region::Dflash
-        } else if addr.in_range(EMEM_BASE, self.cfg.emem_size.bytes() as u32) {
-            Region::Emem
-        } else if addr.segment() == 0xF {
-            Region::Periph
-        } else {
-            Region::Unmapped
-        }
+        self.cfg.region_of(addr)
     }
 
     // ------------------------------------------------------------------

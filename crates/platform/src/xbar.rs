@@ -65,6 +65,8 @@ impl Xbar {
     /// Returns the grant (start) cycle. Emits [`PerfEvent::BusGrant`] /
     /// [`PerfEvent::BusContention`] and records the transaction in
     /// `bus_obs` for the MCDS bus observation block.
+    // reason: the grant request mirrors the FPI bus signal group; folding
+    // the signals into a struct would just rename the problem.
     #[allow(clippy::too_many_arguments)]
     pub fn grant(
         &mut self,

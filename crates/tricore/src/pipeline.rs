@@ -622,7 +622,6 @@ impl Core {
         Ok(out)
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn finish_issue(
         &mut self,
         now: Cycle,

@@ -160,10 +160,86 @@ proptest! {
     }
 }
 
+/// Disassembled branch instructions reassemble to the same bytes when
+/// anchored at a concrete PC: the disassembler prints absolute targets,
+/// the assembler converts them back to PC-relative offsets, and the two
+/// must agree bit-for-bit through the halfword scaling.
+#[test]
+fn branch_disassembly_reassembles_at_concrete_pc() {
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    let strategy = arb_instr();
+    // Mid-flash anchor: ±16 MiB (24-bit) targets stay inside the segment.
+    let pc = Addr(0x8100_0000);
+    let mut checked = 0;
+    for _ in 0..2000 {
+        let instr = strategy.new_tree(&mut runner).unwrap().current();
+        if !instr.is_control_flow() {
+            continue;
+        }
+        let text = format_instr(&instr, pc);
+        let src = format!(".org {:#x}\n    {text}\n", pc.0);
+        let image = assemble(&src).unwrap_or_else(|e| panic!("`{text}` must reassemble: {e}"));
+        let bytes = &image.sections()[0].bytes;
+        let enc = encode(&instr);
+        assert_eq!(
+            bytes.as_slice(),
+            enc.as_bytes(),
+            "asm/disasm disagree for {instr:?} (`{text}`) at {pc:?}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 200, "enough branch samples ({checked})");
+}
+
+/// Pinned regressions for the branch round-trip: the offsets that sit on
+/// the boundaries of the halfword-scaled immediate fields.
+#[test]
+fn branch_roundtrip_boundary_offsets() {
+    let pc = Addr(0x8100_0000);
+    let cases = [
+        Instr::J { off: 0 },
+        Instr::J { off: (1 << 23) - 1 },
+        Instr::J { off: -(1 << 23) },
+        Instr::Jl { off: -1 },
+        Instr::Call { off: 1 },
+        Instr::Jz {
+            ra: DReg(0),
+            off: 2047,
+        },
+        Instr::Jnz {
+            ra: DReg(15),
+            off: -2048,
+        },
+        Instr::Loop {
+            aa: AReg(2),
+            off: -2048,
+        },
+        Instr::JCond {
+            cond: BranchCond::GeU,
+            ra: DReg(3),
+            rb: DReg(4),
+            off: 2047,
+        },
+    ];
+    for instr in cases {
+        let text = format_instr(&instr, pc);
+        let src = format!(".org {:#x}\n    {text}\n", pc.0);
+        let image = assemble(&src).unwrap_or_else(|e| panic!("`{text}` must reassemble: {e}"));
+        let enc = encode(&instr);
+        assert_eq!(
+            image.sections()[0].bytes.as_slice(),
+            enc.as_bytes(),
+            "asm/disasm disagree for {instr:?} (`{text}`)"
+        );
+    }
+}
+
 /// Disassembled non-branch instructions reassemble to the same bytes.
 ///
 /// (Branch text uses absolute targets that only resolve at a concrete PC,
-/// so they are exercised separately in `disasm` unit tests.)
+/// so they are exercised with an anchored PC above.)
 #[test]
 fn disassembly_reassembles_identically() {
     use proptest::strategy::ValueTree;

@@ -53,6 +53,10 @@ pub struct EngineParams {
     /// instead of flash: single-cycle fetches, no flash port contention
     /// with the background task.
     pub isrs_in_pspr: bool,
+    /// Background task checksums the DSPR table copy instead of 8 KiB of
+    /// flash: a scratchpad-resident calibration build with almost no
+    /// steady-state flash data traffic. Requires `tables_in_dspr`.
+    pub bg_in_dspr: bool,
 }
 
 impl Default for EngineParams {
@@ -67,6 +71,7 @@ impl Default for EngineParams {
             tables_in_dspr: false,
             can_on_pcp: false,
             isrs_in_pspr: false,
+            bg_in_dspr: false,
         }
     }
 }
@@ -238,6 +243,26 @@ isr_can:                       ; one interrupt per received message
             format!("    j {h}")
         }
     };
+    let bg_head = if p.bg_in_dspr {
+        format!(
+            "    ; background task: checksum the DSPR table copy (272 words) —
+    ; scratchpad-resident, so the steady state has no flash data traffic
+    la a2, {:#x}
+    movi d1, 0
+    li d2, 272
+",
+            layout::DSPR_TABLES
+        )
+    } else {
+        "    ; background task: checksum 2048 words (8 KiB) of flash-resident
+    ; code+tables — a working set beyond the 4 KiB D-cache, so cached
+    ; table lines are evicted between crank interrupts
+    la a2, 0x80000000
+    movi d1, 0
+    li d2, 2048
+"
+        .to_string()
+    };
     format!(
         "
 ; ---- synthetic engine-control ECU application (generated) ----
@@ -250,13 +275,7 @@ _start:
 {table_copy}
     enable
 main_loop:
-    ; background task: checksum 2048 words (8 KiB) of flash-resident
-    ; code+tables — a working set beyond the 4 KiB D-cache, so cached
-    ; table lines are evicted between crank interrupts
-    la a2, 0x80000000
-    movi d1, 0
-    li d2, 2048
-bg_loop:
+{bg_head}bg_loop:
     ld.w d3, [a2+]4
     xor d1, d1, d3
     addi d2, d2, -1
@@ -425,6 +444,7 @@ ign_map:
         smooth_out = state::SMOOTH_OUT,
         col_out = state::COL_OUT,
         handler_org = handler_org,
+        bg_head = bg_head,
         v_dma = vector("isr_dma_done"),
         v_10ms = vector("isr_10ms"),
         v_1ms = vector("isr_1ms"),
@@ -539,9 +559,14 @@ fn pcp_can_firmware() -> PcpProgram {
 /// # Panics
 ///
 /// Panics if the generated source fails to assemble (a generator bug, not
-/// a user error).
+/// a user error), or if `bg_in_dspr` is requested without
+/// `tables_in_dspr` (there would be no DSPR copy to checksum).
 #[must_use]
 pub fn engine_control(p: &EngineParams) -> Workload {
+    assert!(
+        !p.bg_in_dspr || p.tables_in_dspr,
+        "bg_in_dspr requires tables_in_dspr"
+    );
     let source = generate_source(p);
     let params = p.clone();
     let setup = Box::new(move |soc: &mut Soc| {
@@ -615,11 +640,12 @@ pub fn engine_control(p: &EngineParams) -> Workload {
         + 1_000_000;
     Workload::from_source(
         format!(
-            "engine[{}rpm{}{}{}]",
+            "engine[{}rpm{}{}{}{}]",
             p.rpm,
             if p.tables_in_dspr { ",dspr-tables" } else { "" },
             if p.can_on_pcp { ",pcp-can" } else { "" },
             if p.isrs_in_pspr { ",pspr-isrs" } else { "" },
+            if p.bg_in_dspr { ",dspr-bg" } else { "" },
         ),
         "synthetic engine-control ECU: crank ISR, 1/10ms tasks, ADC-DMA, CAN, EEPROM emulation",
         &source,
@@ -759,6 +785,30 @@ mod tests {
         let p = EngineParams::default();
         assert_eq!(generate_source(&p), generate_source(&p));
         assert!(generate_source(&p).contains("isr_crank"));
+    }
+
+    #[test]
+    fn dspr_bg_variant_sweeps_the_table_copy() {
+        let p = EngineParams {
+            rpm: 12_000,
+            target_teeth: 20,
+            tables_in_dspr: true,
+            bg_in_dspr: true,
+            ..EngineParams::default()
+        };
+        assert!(generate_source(&p).contains("li d2, 272"));
+        let mut soc = run(&p);
+        assert!(state_word(&mut soc, layout::state::BG_CHECKSUM) != 0);
+        assert!(state_word(&mut soc, layout::state::BG_PASSES) >= p.target_bg_passes);
+    }
+
+    #[test]
+    #[should_panic(expected = "bg_in_dspr requires tables_in_dspr")]
+    fn dspr_bg_without_dspr_tables_is_rejected() {
+        let _ = engine_control(&EngineParams {
+            bg_in_dspr: true,
+            ..EngineParams::default()
+        });
     }
 }
 

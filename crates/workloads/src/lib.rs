@@ -112,6 +112,26 @@ impl Workload {
     pub fn install_ed(&self, ed: &mut EmulationDevice) -> Result<(), SimError> {
         self.install(&mut ed.soc)
     }
+
+    /// The PCP firmware, if the workload carries one (read-only view for
+    /// static analysis).
+    #[must_use]
+    pub fn pcp(&self) -> Option<&PcpProgram> {
+        self.pcp.as_ref()
+    }
+}
+
+/// The stock application-class workloads, in a stable order: the engine
+/// workload at default parameters plus the transmission and chassis
+/// variants. This is the set the CI analyzer step lints; keep the order
+/// fixed so golden findings stay byte-stable.
+#[must_use]
+pub fn stock_workloads() -> Vec<Workload> {
+    vec![
+        engine::engine_control(&engine::EngineParams::default()),
+        variants::transmission_control(10),
+        variants::chassis_monitor(40, 2_000),
+    ]
 }
 
 #[cfg(test)]

@@ -1,0 +1,107 @@
+//! CI gate: the pipeline predecoded fast path must be invisible.
+//!
+//! Runs the stock engine-control workload on a full SoC twice — predecode
+//! fast path off, then on — with observation enabled, and requires the two
+//! runs to be byte-identical in everything a toolchain could see: cycle
+//! count, retired instructions, the complete performance-event and bus-
+//! transaction streams, the architectural register file, and the rendered
+//! metrics snapshot (modulo the predecode cache's own hit/miss counters,
+//! which describe the mechanism itself). Any difference exits nonzero.
+
+use audo_common::{BusTransaction, EventRecord, SimError};
+use audo_obs::{metrics_text, Registry};
+use audo_platform::config::SocConfig;
+use audo_platform::Soc;
+use audo_workloads::stock_workloads;
+
+struct RunOut {
+    cycles: u64,
+    retired: u64,
+    events: Vec<EventRecord>,
+    bus: Vec<BusTransaction>,
+    d: [u32; 16],
+    a: [u32; 16],
+    metrics: String,
+}
+
+fn run(fast: bool) -> Result<RunOut, SimError> {
+    let workloads = stock_workloads();
+    let w = workloads
+        .iter()
+        .find(|w| w.name.contains("engine"))
+        .expect("stock engine workload exists");
+    let mut soc = Soc::new(SocConfig::default());
+    soc.tricore.set_fast_path(fast);
+    w.install(&mut soc)?;
+    soc.set_observation(true);
+    let mut events = Vec::new();
+    let mut bus = Vec::new();
+    let mut cycles = 0u64;
+    while cycles < w.max_cycles {
+        let obs = soc.step()?;
+        events.extend(obs.events);
+        bus.extend(obs.bus);
+        cycles += 1;
+        if obs.halted {
+            break;
+        }
+    }
+    let mut reg = Registry::new();
+    soc.export_obs(&mut reg);
+    Ok(RunOut {
+        cycles,
+        retired: soc.tricore.retired_total(),
+        events,
+        bus,
+        d: soc.tricore.arch().d,
+        a: soc.tricore.arch().a,
+        metrics: metrics_text::render(&reg, "audo"),
+    })
+}
+
+/// Drops the metric lines describing the predecode cache itself (hits and
+/// misses legitimately differ between the two modes: with the fast path
+/// off the cache is not consulted at all).
+fn strip_predecode(metrics: &str) -> String {
+    metrics
+        .lines()
+        .filter(|l| !l.contains("predecode"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+fn main() {
+    let slow = run(false).expect("uncached run completes");
+    let fast = run(true).expect("cached run completes");
+    let mut ok = true;
+    let mut check = |what: &str, same: bool| {
+        if same {
+            println!("  ok: {what}");
+        } else {
+            println!("  MISMATCH: {what}");
+            ok = false;
+        }
+    };
+    check("cycle count", fast.cycles == slow.cycles);
+    check("instructions retired", fast.retired == slow.retired);
+    check("data registers", fast.d == slow.d);
+    check("address registers", fast.a == slow.a);
+    check("performance-event stream", fast.events == slow.events);
+    check("bus-transaction stream", fast.bus == slow.bus);
+    check(
+        "rendered metrics (modulo predecode counters)",
+        strip_predecode(&fast.metrics) == strip_predecode(&slow.metrics),
+    );
+    if ok {
+        println!(
+            "pipeline fast-path gate passed: {} cycles, {} instructions, \
+             {} events byte-identical cached vs uncached",
+            slow.cycles,
+            slow.retired,
+            slow.events.len()
+        );
+    } else {
+        eprintln!("pipeline fast path is observable — timing model broken");
+        std::process::exit(1);
+    }
+}

@@ -88,6 +88,41 @@ fn run_workload_cycles(cfg: &SocConfig, w: &Workload) -> Result<u64, SimError> {
     soc.run_to_halt(w.max_cycles)
 }
 
+/// Renders the pipeline's per-cause cycle decomposition into the report:
+/// every executed cycle is either a retire cycle or charged to exactly one
+/// stall cause, so the rows sum to the run's cycle count and explain its
+/// IPC (the methodology's "where did the time go" primitive).
+fn report_stall_decomposition(r: &mut Report, core: &audo_tricore::Core, cycles: u64) {
+    use audo_common::events::StallReason;
+    let p = core.stats();
+    let pct = |c: u64| 100.0 * c as f64 / cycles as f64;
+    r.line(format!(
+        "cycle decomposition over {cycles} cycles (IPC {:.3}):",
+        core.retired_total() as f64 / cycles as f64
+    ));
+    r.line(format!(
+        "  {:<18} {:>10} {:>7.1}%",
+        "retire",
+        p.retire_cycles,
+        pct(p.retire_cycles)
+    ));
+    for reason in StallReason::ALL {
+        let c = p.stalls(reason);
+        if c > 0 {
+            r.line(format!(
+                "  stall.{:<12} {:>10} {:>7.1}%",
+                reason.key(),
+                c,
+                pct(c)
+            ));
+        }
+    }
+    r.check(
+        "stall decomposition is exhaustive (retire + stalls == cycles)",
+        p.retire_cycles + p.stall_total() == cycles,
+    );
+}
+
 // ======================================================================
 // E1 — Fig. 2/4: the Emulation Device platform boots and behaves sanely
 // ======================================================================
@@ -308,6 +343,12 @@ pub fn e3_parallel_rates() -> Result<Report, SimError> {
             measured == expect,
         );
     }
+    report_stall_decomposition(&mut r, &ed.soc.tricore, cycles);
+    if r.obs.is_enabled() {
+        let mut run = audo_obs::Registry::new();
+        ed.export_obs(&mut run);
+        r.obs.merge_from("run.", &run, 1);
+    }
     Ok(r)
 }
 
@@ -393,6 +434,15 @@ pub fn e4_cascade() -> Result<Report, SimError> {
         "fine samples are concentrated in the bad phase",
         casc_in_bad * 10 >= fine_samples(&out_casc) * 9,
     );
+    // The stall decomposition of the phased program explains *why* the
+    // cascade triggers: the low-IPC phase is flash-bound (fetch/data
+    // stalls), not execute-bound.
+    report_stall_decomposition(&mut r, &ed.soc.tricore, out_coarse.cycles);
+    if r.obs.is_enabled() {
+        let mut run = audo_obs::Registry::new();
+        ed.export_obs(&mut run);
+        r.obs.merge_from("coarse.", &run, 1);
+    }
     Ok(r)
 }
 

@@ -118,6 +118,52 @@ pub enum StallReason {
     Idle,
 }
 
+impl StallReason {
+    /// Number of distinct stall causes.
+    pub const COUNT: usize = 7;
+
+    /// All stall causes in a fixed, export-stable order.
+    pub const ALL: [StallReason; StallReason::COUNT] = [
+        StallReason::Fetch,
+        StallReason::Data,
+        StallReason::Execute,
+        StallReason::Branch,
+        StallReason::Context,
+        StallReason::StoreBuffer,
+        StallReason::Idle,
+    ];
+
+    /// Dense index of this cause within [`StallReason::ALL`] (for
+    /// per-cause counter arrays).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            StallReason::Fetch => 0,
+            StallReason::Data => 1,
+            StallReason::Execute => 2,
+            StallReason::Branch => 3,
+            StallReason::Context => 4,
+            StallReason::StoreBuffer => 5,
+            StallReason::Idle => 6,
+        }
+    }
+
+    /// Metric-name-safe key (underscores instead of hyphens, so the name
+    /// survives Prometheus-style exposition unchanged).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            StallReason::Fetch => "fetch",
+            StallReason::Data => "data",
+            StallReason::Execute => "execute",
+            StallReason::Branch => "branch",
+            StallReason::Context => "context",
+            StallReason::StoreBuffer => "store_buffer",
+            StallReason::Idle => "idle",
+        }
+    }
+}
+
 impl fmt::Display for StallReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -514,6 +560,14 @@ mod tests {
             cache: CacheId::Data,
         });
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn stall_reason_index_matches_all_order() {
+        for (i, r) in StallReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i, "{r}");
+            assert!(!r.key().contains('-'), "metric key must be hyphen-free");
+        }
     }
 
     #[test]

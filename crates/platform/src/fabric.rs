@@ -741,9 +741,8 @@ impl CoreBus for Fabric {
             _ => return Err(SimError::UnmappedAddress { addr: base }),
         };
         let a = self.canonical(base);
-        let bytes_vec = self.storage.read_bytes(a, FETCH_BYTES as usize)?;
         let mut bytes = [0u8; FETCH_BYTES as usize];
-        bytes.copy_from_slice(&bytes_vec);
+        self.storage.read_into(a, &mut bytes)?;
         Ok(FetchSlot {
             bytes,
             ready_at: ready,
@@ -766,6 +765,13 @@ impl CoreBus for Fabric {
             Some(value),
         )?;
         Ok(accepted)
+    }
+
+    fn code_region(&self, addr: Addr) -> Option<(u32, u64)> {
+        // Must mirror `fetch` exactly: fetched bytes come from `storage` at
+        // the canonical address (the uncached flash segment aliases the
+        // cached one), so the stamp is that region's write generation.
+        self.storage.region_stamp(self.canonical(addr))
     }
 }
 

@@ -104,10 +104,43 @@ impl Soc {
         reg.sample("soc.xbar.grants", grants);
         reg.sample("soc.xbar.contended_grants", contended);
         reg.sample("soc.dma.beats", self.fabric.dma_beats());
+        // Pipeline cycle decomposition: every cycle is either a retire
+        // cycle or a stall cycle charged to exactly one cause, so these
+        // counters explain the IPC gauge below.
+        let p = self.tricore.stats();
+        for reason in audo_common::events::StallReason::ALL {
+            reg.sample(
+                &format!("soc.tricore.stall.{}", reason.key()),
+                p.stalls(reason),
+            );
+        }
+        reg.sample("soc.tricore.retire_cycles", p.retire_cycles);
+        reg.sample("soc.tricore.flushes", p.flushes);
+        reg.sample("soc.tricore.mispredicts", p.mispredicts);
+        reg.sample("soc.tricore.loop_buffer.replays", p.loop_buffer_replays);
+        reg.sample(
+            "soc.tricore.loop_buffer.invalidations",
+            p.loop_buffer_invalidations,
+        );
+        reg.sample("soc.tricore.predecode.hits", p.predecode.hits);
+        reg.sample("soc.tricore.predecode.misses", p.predecode.misses);
+        reg.sample(
+            "soc.tricore.predecode.invalidations",
+            p.predecode.invalidations,
+        );
         if self.clock.0 > 0 {
+            let cycles = self.clock.0 as f64;
             reg.gauge(
                 "soc.tricore.ipc",
-                self.tricore.retired_total() as f64 / self.clock.0 as f64,
+                self.tricore.retired_total() as f64 / cycles,
+            );
+            reg.gauge(
+                "soc.tricore.retire_fraction",
+                p.retire_cycles as f64 / cycles,
+            );
+            reg.gauge(
+                "soc.tricore.stall_fraction",
+                p.stall_total() as f64 / cycles,
             );
         }
     }

@@ -59,6 +59,19 @@ pub trait CoreBus {
     ///
     /// Returns an error for unmapped or misaligned accesses.
     fn write(&mut self, now: Cycle, addr: Addr, size: u8, value: u32) -> Result<Cycle, SimError>;
+
+    /// Identity of the code-memory region containing `addr`, for predecode
+    /// caching: `(canonical region base, write generation)`. The generation
+    /// must bump on every store into the region (see
+    /// [`crate::mem::FlatMem::generation`]), so a cached decode is valid
+    /// exactly while the pair compares equal.
+    ///
+    /// The default returns `None`, which disables predecode caching on the
+    /// bus — always safe, merely slower.
+    fn code_region(&self, addr: Addr) -> Option<(u32, u64)> {
+        let _ = addr;
+        None
+    }
 }
 
 /// Flat-memory [`CoreBus`] with constant latencies, for tests.
@@ -111,9 +124,7 @@ impl CoreBus for TestBus {
     fn fetch(&mut self, now: Cycle, addr: Addr) -> Result<FetchSlot, SimError> {
         let base = addr.align_down(FETCH_BYTES);
         let mut bytes = [0u8; FETCH_BYTES as usize];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.mem.read_byte(base.offset(i as u32))?;
-        }
+        self.mem.read_into(base, &mut bytes)?;
         Ok(FetchSlot {
             bytes,
             ready_at: now + self.fetch_latency,
@@ -131,6 +142,10 @@ impl CoreBus for TestBus {
     fn write(&mut self, now: Cycle, addr: Addr, size: u8, value: u32) -> Result<Cycle, SimError> {
         self.mem.write(addr, size, value)?;
         Ok(now + self.write_latency)
+    }
+
+    fn code_region(&self, addr: Addr) -> Option<(u32, u64)> {
+        self.mem.region_stamp(addr)
     }
 }
 

@@ -73,4 +73,4 @@ pub use arch::{ArchMem, ArchState};
 pub use bus::{CoreBus, FetchSlot, ReadSlot};
 pub use image::Image;
 pub use isa::Instr;
-pub use pipeline::{Core, CoreConfig, StepOutput};
+pub use pipeline::{Core, CoreConfig, PipelineStats, StepOutput};

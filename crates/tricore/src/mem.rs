@@ -9,7 +9,7 @@
 //! invalidates the stale predecoded blocks without a write barrier in the
 //! store path.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
 
 use audo_common::{Addr, SimError};
 
@@ -44,7 +44,13 @@ struct Region {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FlatMem {
-    regions: BTreeMap<u32, Region>,
+    /// Mapped regions, sorted by base address. Region count is tiny (a
+    /// handful of memories per SoC), so a sorted vector beats a tree.
+    regions: Vec<(u32, Region)>,
+    /// Index of the most recently hit region. Accesses cluster heavily
+    /// (code streams, stack traffic), so this makes the common lookup a
+    /// single bounds check. Purely an index cache — never affects results.
+    last: Cell<usize>,
 }
 
 impl FlatMem {
@@ -60,22 +66,27 @@ impl FlatMem {
     ///
     /// Panics if the region overlaps an existing one.
     pub fn add_region(&mut self, base: Addr, len: u32) {
-        for (&b, region) in &self.regions {
-            let existing_end = b as u64 + region.bytes.len() as u64;
-            let new_end = base.0 as u64 + u64::from(len);
+        for (b, region) in &self.regions {
+            let existing_end = u64::from(*b) + region.bytes.len() as u64;
+            let new_end = u64::from(base.0) + u64::from(len);
             assert!(
-                new_end <= u64::from(b) || u64::from(base.0) >= existing_end,
+                new_end <= u64::from(*b) || u64::from(base.0) >= existing_end,
                 "region {base}+{len:#x} overlaps existing region at {:#x}",
                 b
             );
         }
+        let at = self.regions.partition_point(|&(b, _)| b < base.0);
         self.regions.insert(
-            base.0,
-            Region {
-                bytes: vec![0; len as usize],
-                generation: 0,
-            },
+            at,
+            (
+                base.0,
+                Region {
+                    bytes: vec![0; len as usize],
+                    generation: 0,
+                },
+            ),
         );
+        self.last.set(0);
     }
 
     /// Copies `bytes` into memory at `base` (which must be mapped).
@@ -90,11 +101,26 @@ impl FlatMem {
         }
     }
 
-    fn locate(&self, addr: Addr) -> Option<(u32, usize)> {
-        let (&base, region) = self.regions.range(..=addr.0).next_back()?;
+    /// Finds the region containing `addr`; returns `(region index, byte
+    /// offset within it)`.
+    fn locate(&self, addr: Addr) -> Option<(usize, usize)> {
+        let li = self.last.get();
+        if let Some((base, region)) = self.regions.get(li) {
+            let off = addr.0.wrapping_sub(*base) as usize;
+            if off < region.bytes.len() {
+                return Some((li, off));
+            }
+        }
+        let idx = match self.regions.binary_search_by_key(&addr.0, |&(b, _)| b) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let (base, region) = &self.regions[idx];
         let off = (addr.0 - base) as usize;
         if off < region.bytes.len() {
-            Some((base, off))
+            self.last.set(idx);
+            Some((idx, off))
         } else {
             None
         }
@@ -104,9 +130,9 @@ impl FlatMem {
     /// or `None` if the address is unmapped.
     #[must_use]
     pub fn region_span(&self, addr: Addr) -> Option<(Addr, u32)> {
-        let (base, _) = self.locate(addr)?;
-        let len = self.regions[&base].bytes.len() as u32;
-        Some((Addr(base), len))
+        let (idx, _) = self.locate(addr)?;
+        let (base, region) = &self.regions[idx];
+        Some((Addr(*base), region.bytes.len() as u32))
     }
 
     /// Returns the write-generation counter of the region containing
@@ -119,8 +145,8 @@ impl FlatMem {
     /// time and treat any later value as "contents may have changed".
     #[must_use]
     pub fn generation(&self, addr: Addr) -> Option<u64> {
-        let (base, _) = self.locate(addr)?;
-        Some(self.regions[&base].generation)
+        let (idx, _) = self.locate(addr)?;
+        Some(self.regions[idx].1.generation)
     }
 
     /// Reads one byte.
@@ -129,10 +155,10 @@ impl FlatMem {
     ///
     /// Returns [`SimError::UnmappedAddress`] outside mapped regions.
     pub fn read_byte(&self, addr: Addr) -> Result<u8, SimError> {
-        let (base, off) = self
+        let (idx, off) = self
             .locate(addr)
             .ok_or(SimError::UnmappedAddress { addr })?;
-        Ok(self.regions[&base].bytes[off])
+        Ok(self.regions[idx].1.bytes[off])
     }
 
     /// Writes one byte, bumping the owning region's generation counter.
@@ -141,10 +167,10 @@ impl FlatMem {
     ///
     /// Returns [`SimError::UnmappedAddress`] outside mapped regions.
     pub fn write_byte(&mut self, addr: Addr, value: u8) -> Result<(), SimError> {
-        let (base, off) = self
+        let (idx, off) = self
             .locate(addr)
             .ok_or(SimError::UnmappedAddress { addr })?;
-        let region = self.regions.get_mut(&base).expect("located region exists");
+        let region = &mut self.regions[idx].1;
         region.bytes[off] = value;
         region.generation += 1;
         Ok(())
@@ -156,9 +182,44 @@ impl FlatMem {
     ///
     /// Returns [`SimError::UnmappedAddress`] if any byte is unmapped.
     pub fn read_bytes(&self, addr: Addr, len: usize) -> Result<Vec<u8>, SimError> {
+        if let Some((idx, off)) = self.locate(addr) {
+            let bytes = &self.regions[idx].1.bytes;
+            if let Some(slice) = bytes.get(off..off + len) {
+                return Ok(slice.to_vec());
+            }
+        }
         (0..len)
             .map(|i| self.read_byte(addr.offset(i as u32)))
             .collect()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` into `buf` without
+    /// allocating (instruction-fetch hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnmappedAddress`] if any byte is unmapped.
+    pub fn read_into(&self, addr: Addr, buf: &mut [u8]) -> Result<(), SimError> {
+        if let Some((idx, off)) = self.locate(addr) {
+            let bytes = &self.regions[idx].1.bytes;
+            if let Some(slice) = bytes.get(off..off + buf.len()) {
+                buf.copy_from_slice(slice);
+                return Ok(());
+            }
+        }
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_byte(addr.offset(i as u32))?;
+        }
+        Ok(())
+    }
+
+    /// Returns `(region base, write generation)` for the region containing
+    /// `addr` in a single lookup (predecode stamp hot path).
+    #[must_use]
+    pub fn region_stamp(&self, addr: Addr) -> Option<(u32, u64)> {
+        let (idx, _) = self.locate(addr)?;
+        let (base, region) = &self.regions[idx];
+        Some((*base, region.generation))
     }
 }
 
@@ -166,6 +227,17 @@ impl ArchMem for FlatMem {
     fn read(&mut self, addr: Addr, size: u8) -> Result<u32, SimError> {
         if !addr.is_aligned(u32::from(size)) {
             return Err(SimError::MisalignedAccess { addr, size });
+        }
+        // Single region lookup; an aligned access never straddles regions.
+        if let Some((idx, off)) = self.locate(addr) {
+            let bytes = &self.regions[idx].1.bytes;
+            if let Some(slice) = bytes.get(off..off + size as usize) {
+                let mut v: u32 = 0;
+                for (i, &b) in slice.iter().enumerate() {
+                    v |= u32::from(b) << (8 * i);
+                }
+                return Ok(v);
+            }
         }
         let mut v: u32 = 0;
         for i in 0..size {
@@ -177,6 +249,18 @@ impl ArchMem for FlatMem {
     fn write(&mut self, addr: Addr, size: u8, value: u32) -> Result<(), SimError> {
         if !addr.is_aligned(u32::from(size)) {
             return Err(SimError::MisalignedAccess { addr, size });
+        }
+        if let Some((idx, off)) = self.locate(addr) {
+            let region = &mut self.regions[idx].1;
+            if let Some(slice) = region.bytes.get_mut(off..off + size as usize) {
+                for (i, b) in slice.iter_mut().enumerate() {
+                    *b = (value >> (8 * i)) as u8;
+                }
+                // Same count as the byte-at-a-time path bumped, so cached
+                // stamps recorded under either path stay comparable.
+                region.generation += u64::from(size);
+                return Ok(());
+            }
         }
         for i in 0..size {
             self.write_byte(addr.offset(u32::from(i)), (value >> (8 * i)) as u8)?;

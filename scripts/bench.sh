@@ -23,6 +23,11 @@ echo "==> BENCH_obs.json (instrumentation overhead vs the fresh baseline)"
 cargo run --release -q -p audo-bench --bin iss_bench -- \
     --obs-json BENCH_obs.json --baseline BENCH_iss.json
 
+echo "==> BENCH_pipeline.json (pipeline predecoded fast path speedup)"
+# Verifies cycle-identity between the cached and uncached pipeline before
+# timing anything, then records best-of-reps speedups per workload.
+cargo run --release -q -p audo-bench --bin pipeline_bench -- --json BENCH_pipeline.json
+
 echo "==> BENCH_experiments.json (paper experiment timings)"
 cargo run --release -q -p audo-bench --bin experiments -- --json BENCH_experiments.json
 

@@ -123,6 +123,12 @@ fi
 rm -rf "$an_dir"
 echo "analyzer gate passed"
 
+echo "==> pipeline fast-path gate: cached vs uncached byte-identical"
+# The predecoded-block fast path may only change wall time: a stock engine
+# workload on the full SoC must produce the same cycles, events, bus
+# transactions, registers and rendered metrics with the cache on and off.
+./target/release/pipeline_check
+
 echo "==> rustdoc gate: cargo doc --no-deps (warnings are errors)"
 # Vendored dependency stand-ins (vendor/*) are workspace members but not
 # ours to document; gate only the audo crates.

@@ -14,6 +14,8 @@
 //! [`findings::Finding`]s with deterministic JSON/text renderings and a
 //! [`predict::Prediction`] with static rate bounds.
 
+#![warn(missing_docs)]
+
 pub mod access;
 pub mod cfg;
 pub mod constprop;

@@ -17,7 +17,9 @@ pub mod scheduler;
 
 pub use experiments::*;
 pub use report::{Check, Report};
-pub use scheduler::{default_jobs, run_jobs, TimedJob};
+pub use scheduler::{
+    default_jobs, export_schedule_obs, run_jobs, wall_summary, TimedJob, WallSummary,
+};
 
 static DAP_FAULT_RATE: OnceLock<f64> = OnceLock::new();
 static OBS: OnceLock<bool> = OnceLock::new();

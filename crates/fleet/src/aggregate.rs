@@ -1,0 +1,150 @@
+//! Streaming fleet aggregates.
+//!
+//! A fleet run never retains per-session data: each finished session is
+//! folded into its cohort's [`CohortAggregate`] (plain counter sums plus
+//! [`Histogram::merge`] folds) and dropped. Shards fold their sessions
+//! locally; the report fold merges the shard aggregates in shard order,
+//! which is associative bucket arithmetic — the reason the final report
+//! is byte-identical at any `--jobs`.
+
+use audo_obs::Histogram;
+
+use crate::session::SessionSample;
+
+/// Rate statistics of one cohort, folded over all its sessions.
+#[derive(Debug, Clone, Default)]
+pub struct CohortAggregate {
+    /// Sessions folded in.
+    pub sessions: u64,
+    /// Sessions vetoed by the divergence check.
+    pub vetoed: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Total retired TriCore instructions.
+    pub instructions: u64,
+    /// Trace bytes the MCDS produced.
+    pub trace_produced: u64,
+    /// Trace bytes lost to EMEM overflow.
+    pub trace_lost: u64,
+    /// Tool-link retransmissions.
+    pub link_retries: u64,
+    /// Tool-link response timeouts.
+    pub link_timeouts: u64,
+    /// Sessions whose trace drain ended truncated.
+    pub link_truncated: u64,
+    /// Per-session simulated cycle cost.
+    pub session_cycles: Histogram,
+    /// DAP transaction latency (cycles), merged from every session's
+    /// tool-link histogram.
+    pub dap_transaction_cycles: Histogram,
+    /// MCDS encoded message sizes (bytes), merged from every session.
+    pub mcds_message_bytes: Histogram,
+}
+
+impl CohortAggregate {
+    /// Folds one finished session in.
+    pub fn fold_session(&mut self, s: &SessionSample) {
+        self.sessions += 1;
+        if s.vetoed {
+            self.vetoed += 1;
+        }
+        self.cycles += s.cycles;
+        self.instructions += s.instructions;
+        self.trace_produced += s.trace_produced;
+        self.trace_lost += s.trace_lost;
+        self.link_retries += s.link_retries;
+        self.link_timeouts += s.link_timeouts;
+        self.link_truncated += u64::from(s.link_truncated);
+        self.session_cycles.record(s.cycles);
+        self.dap_transaction_cycles.merge(&s.dap_transaction_cycles);
+        self.mcds_message_bytes.merge(&s.mcds_message_bytes);
+    }
+
+    /// Folds another aggregate (a shard's view of the same cohort) in.
+    pub fn merge(&mut self, other: &CohortAggregate) {
+        self.sessions += other.sessions;
+        self.vetoed += other.vetoed;
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.trace_produced += other.trace_produced;
+        self.trace_lost += other.trace_lost;
+        self.link_retries += other.link_retries;
+        self.link_timeouts += other.link_timeouts;
+        self.link_truncated += other.link_truncated;
+        self.session_cycles.merge(&other.session_cycles);
+        self.dap_transaction_cycles
+            .merge(&other.dap_transaction_cycles);
+        self.mcds_message_bytes.merge(&other.mcds_message_bytes);
+    }
+
+    /// Mean IPC over the cohort (total instructions / total cycles).
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            // reason: tallies far below 2^53, f64 division is exact enough.
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.instructions as f64 / self.cycles as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionSample;
+
+    fn sample(cycles: u64, vetoed: bool) -> SessionSample {
+        let mut dap = Histogram::default();
+        dap.record(cycles / 100);
+        SessionSample {
+            cycles,
+            instructions: cycles / 2,
+            trace_produced: 64,
+            trace_lost: 0,
+            link_retries: 1,
+            link_timeouts: 0,
+            link_truncated: false,
+            dap_transaction_cycles: dap,
+            mcds_message_bytes: Histogram::default(),
+            vetoed,
+            veto_rows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn shard_fold_equals_serial_fold() {
+        // Folding sessions 0..6 serially must equal folding two shard
+        // aggregates (0..3, 3..6) — the determinism contract in miniature.
+        let samples: Vec<SessionSample> = (1..=6).map(|i| sample(i * 1000, i == 4)).collect();
+        let mut serial = CohortAggregate::default();
+        for s in &samples {
+            serial.fold_session(s);
+        }
+        let mut a = CohortAggregate::default();
+        let mut b = CohortAggregate::default();
+        for s in &samples[..3] {
+            a.fold_session(s);
+        }
+        for s in &samples[3..] {
+            b.fold_session(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.sessions, serial.sessions);
+        assert_eq!(a.vetoed, serial.vetoed);
+        assert_eq!(a.cycles, serial.cycles);
+        assert_eq!(a.session_cycles, serial.session_cycles);
+        assert_eq!(a.dap_transaction_cycles, serial.dap_transaction_cycles);
+        assert!((a.ipc() - serial.ipc()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_aggregate_is_all_zero() {
+        let agg = CohortAggregate::default();
+        assert_eq!(agg.ipc(), 0.0);
+        assert_eq!(agg.session_cycles.percentile(50.0), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The calibration cohorts: prebuilt workload images, SoC configurations
+//! and static rate envelopes shared by every session of a cohort.
+//!
+//! Building a workload (assembling its image) and analyzing it (CFG
+//! recovery, constant propagation, static rate bounds) are per-*cohort*
+//! costs, not per-*session* costs: a fleet run builds each cohort's
+//! artifacts exactly once and every session replays the prebuilt image
+//! on a fresh SoC — the "batched replay" that makes thousands of
+//! sessions per invocation affordable.
+
+use audo_analyze::{analyze, predict::Prediction, MasterRanges};
+use audo_platform::config::SocConfig;
+use audo_platform::Soc;
+use audo_workloads::engine::{engine_control, EngineParams};
+use audo_workloads::{variants, Workload};
+
+/// Static description of one cohort.
+#[derive(Debug, Clone, Copy)]
+pub struct CohortSpec {
+    /// Stable cohort name (report key).
+    pub name: &'static str,
+    /// Platform derivative the cohort ships on.
+    pub config: &'static str,
+    /// Selection weight (out of the table's total) for the cohort draw.
+    pub weight: u64,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// The fleet's cohort table, in stable report order.
+///
+/// Weights model a production mix: most units run the stock engine
+/// calibration; the optimized overlays, the transmission flavour and the
+/// chassis flavour each take a smaller share.
+pub const COHORTS: &[CohortSpec] = &[
+    CohortSpec {
+        name: "engine-stock",
+        config: "tc1797",
+        weight: 4,
+        description: "stock engine calibration, flash-resident tables",
+    },
+    CohortSpec {
+        name: "engine-dspr",
+        config: "tc1797",
+        weight: 2,
+        description: "engine with lookup tables copied to the DSPR",
+    },
+    CohortSpec {
+        name: "engine-pspr",
+        config: "tc1797",
+        weight: 2,
+        description: "engine with ISRs in the program scratchpad",
+    },
+    CohortSpec {
+        name: "engine-pcp",
+        config: "tc1797",
+        weight: 2,
+        description: "engine with CAN handling offloaded to the PCP",
+    },
+    CohortSpec {
+        name: "engine-lean",
+        config: "tc1767",
+        weight: 2,
+        description: "scratchpad-resident lean calibration on the small derivative",
+    },
+    CohortSpec {
+        name: "transmission",
+        config: "tc1797",
+        weight: 2,
+        description: "transmission control: timer-driven shift decisions",
+    },
+    CohortSpec {
+        name: "chassis",
+        config: "tc1767",
+        weight: 2,
+        description: "chassis monitor: high interrupt rate, tiny handlers",
+    },
+];
+
+/// Index of the lean scratchpad-resident cohort — the calibration a
+/// miscalibrated unit *claims* (its envelope is flash-light, so the
+/// flash-heavy rogue build it actually runs cannot satisfy it).
+pub const LEAN: usize = 4;
+
+/// Maps a cohort draw onto a cohort index by cumulative weight.
+#[must_use]
+pub fn pick(draw: u64) -> usize {
+    let total: u64 = COHORTS.iter().map(|c| c.weight).sum();
+    let mut ticket = draw % total;
+    for (i, c) in COHORTS.iter().enumerate() {
+        if ticket < c.weight {
+            return i;
+        }
+        ticket -= c.weight;
+    }
+    unreachable!("ticket < total by construction")
+}
+
+/// Everything a session needs from its cohort, built once per fleet run.
+pub struct CohortArtifacts {
+    /// The cohort's static description.
+    pub spec: &'static CohortSpec,
+    /// Prebuilt workload (image + peripheral setup + optional PCP
+    /// firmware), replayed by every session of the cohort.
+    pub workload: Workload,
+    /// Platform derivative configuration.
+    pub config: SocConfig,
+    /// Static rate envelope of the cohort's image — what every session's
+    /// measured snapshot is checked against.
+    pub envelope: Prediction,
+    /// Cycle budget for one session (the workload halts well before).
+    pub budget: u64,
+}
+
+/// Fleet-sized engine parameters: the same program structure as the
+/// full-length engine workload, shortened (fewer crank teeth and
+/// background passes at higher RPM) so one session costs on the order of
+/// 10^5 simulated cycles instead of 10^6. The steady-state *rates* the
+/// veto checks are unchanged — only the observation window shrinks.
+#[must_use]
+fn fleet_engine_params() -> EngineParams {
+    EngineParams {
+        rpm: 6000,
+        target_teeth: 4,
+        target_bg_passes: 6,
+        ..EngineParams::default()
+    }
+}
+
+/// Builds the named cohort's workload.
+fn build_workload(name: &str) -> Workload {
+    let engine = |f: fn(&mut EngineParams)| {
+        let mut p = fleet_engine_params();
+        f(&mut p);
+        engine_control(&p)
+    };
+    match name {
+        "engine-stock" => engine(|_| {}),
+        "engine-dspr" => engine(|p| p.tables_in_dspr = true),
+        "engine-pspr" => engine(|p| p.isrs_in_pspr = true),
+        "engine-pcp" => engine(|p| p.can_on_pcp = true),
+        "engine-lean" => engine(|p| {
+            p.tables_in_dspr = true;
+            p.bg_in_dspr = true;
+        }),
+        "transmission" => variants::transmission_control(3),
+        "chassis" => variants::chassis_monitor(16, 2_000),
+        other => unreachable!("unknown cohort {other}"),
+    }
+}
+
+fn build_config(name: &str) -> SocConfig {
+    match name {
+        "tc1797" => SocConfig::tc1797(),
+        "tc1767" => SocConfig::tc1767(),
+        other => unreachable!("unknown config {other}"),
+    }
+}
+
+/// Derives the static envelope of a workload exactly the way the
+/// `analyze` CLI does: install into a fresh SoC (so DMA programming from
+/// the setup hook is visible), derive the concurrent-master ranges, and
+/// run the full static analysis.
+fn envelope_of(w: &Workload, cfg: &SocConfig) -> Prediction {
+    let mut soc = Soc::new(cfg.clone());
+    w.install(&mut soc)
+        .expect("cohort workload installs on its own derivative");
+    let pcp = w.pcp().map(|p| {
+        let entries: Vec<u16> = p.channels.iter().map(|&(_, e)| e).collect();
+        (p.words.clone(), p.base, entries)
+    });
+    let masters = match &pcp {
+        Some((words, base, entries)) => MasterRanges::derive(
+            &soc.fabric.dma,
+            Some((words.as_slice(), *base, entries.as_slice())),
+        ),
+        None => MasterRanges::derive(&soc.fabric.dma, None),
+    };
+    analyze(&w.image, cfg, &masters, &w.name).prediction
+}
+
+/// Builds every cohort's artifacts (in [`COHORTS`] order).
+#[must_use]
+pub fn build_artifacts() -> Vec<CohortArtifacts> {
+    COHORTS
+        .iter()
+        .map(|spec| {
+            let workload = build_workload(spec.name);
+            let config = build_config(spec.config);
+            let envelope = envelope_of(&workload, &config);
+            let budget = workload.max_cycles;
+            CohortArtifacts {
+                spec,
+                workload,
+                config,
+                envelope,
+                budget,
+            }
+        })
+        .collect()
+}
+
+/// Builds the rogue build a miscalibrated unit actually runs: the
+/// flash-heavy stock engine image on the lean cohort's (small)
+/// derivative. Its steady-state flash data rate is an order of magnitude
+/// above the lean envelope's bound, so [`audo_analyze::predict::check`]
+/// flags it from the measured counters alone.
+#[must_use]
+pub fn build_rogue() -> Workload {
+    build_workload("engine-stock")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_respects_cumulative_weights() {
+        let total: u64 = COHORTS.iter().map(|c| c.weight).sum();
+        assert_eq!(pick(0), 0);
+        assert_eq!(pick(total - 1), COHORTS.len() - 1);
+        assert_eq!(pick(total), 0, "wraps by modulo");
+        // Exact draw counts over one full period match the weights.
+        let mut counts = vec![0u64; COHORTS.len()];
+        for draw in 0..total {
+            counts[pick(draw)] += 1;
+        }
+        let weights: Vec<u64> = COHORTS.iter().map(|c| c.weight).collect();
+        assert_eq!(counts, weights);
+    }
+
+    #[test]
+    fn lean_cohort_is_the_scratchpad_resident_one() {
+        assert_eq!(COHORTS[LEAN].name, "engine-lean");
+        assert_eq!(COHORTS[LEAN].config, "tc1767");
+    }
+
+    #[test]
+    fn rogue_flash_rate_breaks_the_lean_envelope() {
+        // The structural guarantee the planted-unit detection rests on:
+        // the stock build's *static* flash rate already exceeds the lean
+        // envelope's measured-rate ceiling.
+        let lean_w = build_workload("engine-lean");
+        let cfg = build_config("tc1767");
+        let lean = envelope_of(&lean_w, &cfg);
+        let rogue = envelope_of(&build_rogue(), &cfg);
+        assert!(
+            rogue.flash_per_100 > lean.flash_per_100 * 2.0 + 0.5,
+            "rogue {:.2} vs lean ceiling {:.2}",
+            rogue.flash_per_100,
+            lean.flash_per_100 * 2.0 + 0.5
+        );
+    }
+}

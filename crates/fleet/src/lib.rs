@@ -1,0 +1,326 @@
+//! Fleet-scale calibration service (`audo-fleet`).
+//!
+//! The paper profiles *one* ECU on *one* bench. The production framing
+//! this workspace grows toward is millions of instrumented vehicles
+//! phoning home with profiling and calibration data. This crate turns
+//! the existing deterministic single-session machinery into that
+//! many-unit aggregation layer: one invocation runs thousands of
+//! profiling sessions, where each per-vehicle seed *derives* the unit's
+//! workload variant (engine/transmission/chassis plus calibration
+//! overlays), its SoC derivative, and its tool-link fault rate
+//! ([`mod@derive`]); sessions replay prebuilt per-cohort images
+//! ([`cohort`]), are folded into streaming per-cohort aggregates with
+//! no per-session retention ([`aggregate`], via
+//! [`audo_obs::Histogram::merge`]), and each session's measured
+//! counters are checked against its cohort's static rate envelope from
+//! `audo-analyze` — a deliberately miscalibrated 1-in-N unit surfaces
+//! in the fleet report with its seed, cohort and finding codes
+//! ([`session`], [`report`]).
+//!
+//! # The determinism contract
+//!
+//! Same `(seed, sessions)` ⇒ byte-identical report, at any worker
+//! count. Everything a session does is seeded and simulated-cycle-timed;
+//! shard boundaries depend only on the fixed shard size; the shard fold
+//! is associative counter/bucket arithmetic applied in shard order.
+//! Wall-clock throughput (sessions/sec) is deliberately *not* part of
+//! the report — it travels on stderr and in `BENCH_fleet.json`.
+//!
+//! # Example
+//!
+//! ```
+//! use audo_fleet::{fold, plan, FleetOptions};
+//!
+//! let plan = plan(FleetOptions {
+//!     sessions: 4,
+//!     seed: 0xF1EE7,
+//!     ..FleetOptions::default()
+//! });
+//! let shards: Vec<_> = (0..plan.shard_count()).map(|s| plan.run_shard(s)).collect();
+//! let report = fold(&plan, &shards).unwrap();
+//! assert_eq!(report.total_sessions(), 4);
+//! assert!(report.is_clean());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod cohort;
+pub mod derive;
+pub mod report;
+pub mod session;
+
+use aggregate::CohortAggregate;
+use cohort::CohortArtifacts;
+use derive::VehicleSpec;
+use session::VetoRow;
+
+/// Fleet run options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOptions {
+    /// Number of profiling sessions (vehicles) to run.
+    pub sessions: u64,
+    /// Fleet master seed; every per-vehicle property derives from it.
+    pub seed: u64,
+    /// Base tool-link fault rate (per-mechanism probability); each unit
+    /// applies its derived jitter in `[0.5, 1.5)`.
+    pub fault_rate: f64,
+    /// Plant a miscalibrated unit per `n` vehicles (`--miscalibrate 1/n`).
+    pub miscalibrate: Option<u64>,
+    /// Sessions per shard. Fixed independently of the worker count so
+    /// the shard decomposition — and therefore the report — does not
+    /// change with `--jobs`.
+    pub shard_size: u64,
+    /// MCDS rate-metric window (cycles) for the per-session IPC probe.
+    pub metric_window: u32,
+}
+
+impl Default for FleetOptions {
+    fn default() -> FleetOptions {
+        FleetOptions {
+            sessions: 256,
+            seed: 0xA0D0_CA11,
+            fault_rate: 0.0,
+            miscalibrate: None,
+            shard_size: 32,
+            metric_window: 2_000,
+        }
+    }
+}
+
+/// A prepared fleet run: per-cohort artifacts built once, sessions
+/// derived on demand.
+pub struct FleetPlan {
+    /// The options the plan was built from.
+    pub opts: FleetOptions,
+    /// Prebuilt cohort artifacts, indexed like [`cohort::COHORTS`].
+    pub cohorts: Vec<CohortArtifacts>,
+    /// The rogue build a miscalibrated unit actually runs.
+    pub rogue: audo_workloads::Workload,
+}
+
+/// Builds a fleet plan: cohort images assembled and statically analyzed
+/// once, shared by every session ("batched replay").
+#[must_use]
+pub fn plan(opts: FleetOptions) -> FleetPlan {
+    FleetPlan {
+        cohorts: cohort::build_artifacts(),
+        rogue: cohort::build_rogue(),
+        opts,
+    }
+}
+
+/// One vetoed unit in the fleet report: enough to chase the physical
+/// unit (seed) and the failure mode (codes) without any session data.
+#[derive(Debug, Clone)]
+pub struct VetoRecord {
+    /// Session index.
+    pub index: u64,
+    /// The unit's derived seed.
+    pub seed: u64,
+    /// Claimed cohort ([`cohort::COHORTS`] index).
+    pub cohort: usize,
+    /// The diverged rates with bounds and finding codes.
+    pub rows: Vec<VetoRow>,
+}
+
+/// What one shard hands back to the fold.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Per-cohort aggregates over this shard's sessions.
+    pub cohorts: Vec<CohortAggregate>,
+    /// Vetoed units, in session order.
+    pub vetoes: Vec<VetoRecord>,
+    /// Total simulated cycles this shard executed (the scheduler's
+    /// virtual replay cost of the shard).
+    pub cycles: u64,
+    /// First session failure, if any (`(index, seed, error)`).
+    pub error: Option<(u64, u64, String)>,
+}
+
+impl FleetPlan {
+    /// Number of shards the session range splits into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.opts
+            .sessions
+            .div_ceil(self.opts.shard_size.max(1))
+            .try_into()
+            .expect("shard count fits usize")
+    }
+
+    /// Derives the spec of session `index`.
+    #[must_use]
+    pub fn vehicle(&self, index: u64) -> VehicleSpec {
+        derive::vehicle(
+            self.opts.seed,
+            index,
+            self.opts.fault_rate,
+            self.opts.miscalibrate,
+        )
+    }
+
+    /// Runs one shard: its sessions in index order, folded locally into
+    /// per-cohort aggregates. Shards are independent — they share only
+    /// the read-only plan — so any number can run concurrently.
+    #[must_use]
+    pub fn run_shard(&self, shard: usize) -> ShardOutcome {
+        let size = self.opts.shard_size.max(1);
+        let lo = shard as u64 * size;
+        let hi = (lo + size).min(self.opts.sessions);
+        let mut out = ShardOutcome {
+            cohorts: vec![CohortAggregate::default(); self.cohorts.len()],
+            vetoes: Vec::new(),
+            cycles: 0,
+            error: None,
+        };
+        for index in lo..hi {
+            let spec = self.vehicle(index);
+            match session::run_session(&self.cohorts[spec.cohort], &self.rogue, &spec, &self.opts) {
+                Ok(sample) => {
+                    out.cycles += sample.cycles;
+                    if sample.vetoed {
+                        out.vetoes.push(VetoRecord {
+                            index,
+                            seed: spec.seed,
+                            cohort: spec.cohort,
+                            rows: sample.veto_rows.clone(),
+                        });
+                    }
+                    out.cohorts[spec.cohort].fold_session(&sample);
+                }
+                Err(e) => {
+                    out.error = Some((index, spec.seed, e.to_string()));
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The folded fleet report. Render with [`report::render_text`] /
+/// [`report::render_json`].
+pub struct FleetReport {
+    /// The options the fleet ran with.
+    pub opts: FleetOptions,
+    /// Units the miscalibration derivation planted.
+    pub planted: u64,
+    /// Per-cohort aggregates, indexed like [`cohort::COHORTS`].
+    pub cohorts: Vec<CohortAggregate>,
+    /// Every vetoed unit, in session order.
+    pub vetoes: Vec<VetoRecord>,
+    /// Simulated cycles per shard, in shard order (the deterministic
+    /// schedule view: feed to `export_schedule_obs`).
+    pub shard_cycles: Vec<u64>,
+}
+
+impl FleetReport {
+    /// Total sessions folded in.
+    #[must_use]
+    pub fn total_sessions(&self) -> u64 {
+        self.cohorts.iter().map(|c| c.sessions).sum()
+    }
+
+    /// Total simulated cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.cohorts.iter().map(|c| c.cycles).sum()
+    }
+
+    /// No unit was vetoed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.vetoes.is_empty()
+    }
+
+    /// Virtual single-link replay queue-wait histogram over the shards
+    /// (simulated cycles a shard waits behind earlier shards).
+    #[must_use]
+    pub fn queue_wait_hist(&self) -> audo_obs::Histogram {
+        let mut h = audo_obs::Histogram::default();
+        let mut now = 0u64;
+        for &c in &self.shard_cycles {
+            h.record(now);
+            now = now.saturating_add(c);
+        }
+        h
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        report::render_text(self)
+    }
+
+    /// Renders the machine-readable JSON report (byte-identical for any
+    /// worker count).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        report::render_json(self)
+    }
+}
+
+/// Folds shard outcomes (in shard order) into the fleet report.
+///
+/// # Errors
+///
+/// Returns the first session failure as a rendered message carrying the
+/// unit's index and seed.
+pub fn fold(plan: &FleetPlan, shards: &[ShardOutcome]) -> Result<FleetReport, String> {
+    let mut cohorts = vec![CohortAggregate::default(); plan.cohorts.len()];
+    let mut vetoes = Vec::new();
+    let mut shard_cycles = Vec::with_capacity(shards.len());
+    for s in shards {
+        if let Some((index, seed, e)) = &s.error {
+            return Err(format!("session {index} (seed {seed:#018x}) failed: {e}"));
+        }
+        for (agg, shard_agg) in cohorts.iter_mut().zip(&s.cohorts) {
+            agg.merge(shard_agg);
+        }
+        vetoes.extend(s.vetoes.iter().cloned());
+        shard_cycles.push(s.cycles);
+    }
+    let planted = match plan.opts.miscalibrate {
+        Some(n) => (0..plan.opts.sessions)
+            .filter(|&i| derive::is_miscalibrated(derive::vehicle_seed(plan.opts.seed, i), n))
+            .count() as u64,
+        None => 0,
+    };
+    Ok(FleetReport {
+        opts: plan.opts.clone(),
+        planted,
+        cohorts,
+        vetoes,
+        shard_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_the_session_space() {
+        let p = FleetOptions {
+            sessions: 70,
+            shard_size: 32,
+            ..FleetOptions::default()
+        };
+        // 70 sessions at shard size 32: shards of 32, 32, 6.
+        let plan_lite = FleetPlan {
+            cohorts: Vec::new(),
+            rogue: cohort::build_rogue(),
+            opts: p,
+        };
+        assert_eq!(plan_lite.shard_count(), 3);
+        let z = FleetPlan {
+            opts: FleetOptions {
+                sessions: 0,
+                ..FleetOptions::default()
+            },
+            ..plan_lite
+        };
+        assert_eq!(z.shard_count(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Deterministic fleet report rendering.
+//!
+//! Both renderers consume only folded state ([`crate::FleetReport`]):
+//! counters, merged histograms, derived seeds and simulated shard
+//! cycles. No wall-clock quantity ever enters — the same run options
+//! produce byte-identical output at any worker count, which is what the
+//! `fleet_check` CI gate diffs.
+
+use std::fmt::Write as _;
+
+use audo_obs::Histogram;
+
+use crate::{FleetReport, VetoRecord};
+
+/// Renders an `f64` as a JSON value (`null` for non-finite values, which
+/// JSON cannot carry).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_hist(h: &Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        h.count(),
+        h.percentile(50.0),
+        h.percentile(90.0),
+        h.percentile(99.0)
+    )
+}
+
+fn json_veto(v: &VetoRecord) -> String {
+    let codes: Vec<String> = v.rows.iter().map(|r| format!("\"{}\"", r.code)).collect();
+    let rows: Vec<String> = v
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"rate\":\"{}\",\"code\":\"{}\",\"measured\":{},\"lo\":{},\"hi\":{}}}",
+                r.rate,
+                r.code,
+                json_f64(r.measured),
+                json_f64(r.lo),
+                json_f64(r.hi)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"index\":{},\"seed\":\"{:#018x}\",\"cohort\":\"{}\",\"codes\":[{}],\"rows\":[{}]}}",
+        v.index,
+        v.seed,
+        crate::cohort::COHORTS[v.cohort].name,
+        codes.join(","),
+        rows.join(",")
+    )
+}
+
+/// Renders the machine-readable JSON report.
+#[must_use]
+pub fn render_json(r: &FleetReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"fleet_seed\": \"{:#018x}\",", r.opts.seed);
+    let _ = writeln!(s, "  \"sessions\": {},", r.opts.sessions);
+    let _ = writeln!(s, "  \"base_fault_rate\": {},", json_f64(r.opts.fault_rate));
+    let _ = writeln!(
+        s,
+        "  \"miscalibrate\": {},",
+        r.opts
+            .miscalibrate
+            .map_or("null".to_string(), |n| format!("\"1/{n}\""))
+    );
+    let _ = writeln!(s, "  \"shard_size\": {},", r.opts.shard_size);
+    let _ = writeln!(s, "  \"planted\": {},", r.planted);
+    let _ = writeln!(s, "  \"vetoed\": {},", r.vetoes.len());
+    let _ = writeln!(s, "  \"total_cycles\": {},", r.total_cycles());
+    s.push_str("  \"cohorts\": [\n");
+    for (i, (spec, agg)) in crate::cohort::COHORTS.iter().zip(&r.cohorts).enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\":\"{}\",\"config\":\"{}\",\"sessions\":{},\"vetoed\":{},\
+             \"cycles\":{},\"instructions\":{},\"ipc\":{},\
+             \"trace_produced\":{},\"trace_lost\":{},\
+             \"link_retries\":{},\"link_timeouts\":{},\"link_truncated\":{},\
+             \"session_cycles\":{},\"dap_transaction_cycles\":{},\"mcds_message_bytes\":{}}}",
+            spec.name,
+            spec.config,
+            agg.sessions,
+            agg.vetoed,
+            agg.cycles,
+            agg.instructions,
+            json_f64(agg.ipc()),
+            agg.trace_produced,
+            agg.trace_lost,
+            agg.link_retries,
+            agg.link_timeouts,
+            agg.link_truncated,
+            json_hist(&agg.session_cycles),
+            json_hist(&agg.dap_transaction_cycles),
+            json_hist(&agg.mcds_message_bytes)
+        );
+        s.push_str(if i + 1 < r.cohorts.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"vetoes\": [\n");
+    for (i, v) in r.vetoes.iter().enumerate() {
+        let _ = write!(s, "    {}", json_veto(v));
+        s.push_str(if i + 1 < r.vetoes.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let virtual_cycles: u64 = r.shard_cycles.iter().sum();
+    let shard_list: Vec<String> = r.shard_cycles.iter().map(u64::to_string).collect();
+    let _ = writeln!(
+        s,
+        "  \"schedule\": {{\"shards\":{},\"virtual_cycles\":{},\"queue_wait_cycles\":{},\"shard_cycles\":[{}]}}",
+        r.shard_cycles.len(),
+        virtual_cycles,
+        json_hist(&r.queue_wait_hist()),
+        shard_list.join(",")
+    );
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the human-readable report.
+#[must_use]
+pub fn render_text(r: &FleetReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "fleet report");
+    let _ = writeln!(s, "============");
+    let _ = writeln!(
+        s,
+        "seed {:#018x}  sessions {}  fault-rate {}  miscalibrate {}",
+        r.opts.seed,
+        r.opts.sessions,
+        r.opts.fault_rate,
+        r.opts
+            .miscalibrate
+            .map_or("off".to_string(), |n| format!("1/{n}"))
+    );
+    let _ = writeln!(
+        s,
+        "total cycles {}  shards {} (shard size {})",
+        r.total_cycles(),
+        r.shard_cycles.len(),
+        r.opts.shard_size
+    );
+    s.push('\n');
+    let _ = writeln!(
+        s,
+        "{:<14} {:>8} {:>6} {:>14} {:>6} {:>9} {:>8} {:>8}",
+        "cohort", "sessions", "vetoed", "cycles", "ipc", "trace(B)", "cyc p50", "cyc p99"
+    );
+    for (spec, agg) in crate::cohort::COHORTS.iter().zip(&r.cohorts) {
+        let _ = writeln!(
+            s,
+            "{:<14} {:>8} {:>6} {:>14} {:>6.3} {:>9} {:>8} {:>8}",
+            spec.name,
+            agg.sessions,
+            agg.vetoed,
+            agg.cycles,
+            agg.ipc(),
+            agg.trace_produced,
+            agg.session_cycles.percentile(50.0),
+            agg.session_cycles.percentile(99.0)
+        );
+    }
+    s.push('\n');
+    if r.vetoes.is_empty() {
+        let _ = writeln!(
+            s,
+            "divergence veto: clean ({} sessions)",
+            r.total_sessions()
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "divergence veto: {} unit(s) flagged (planted {})",
+            r.vetoes.len(),
+            r.planted
+        );
+        for v in &r.vetoes {
+            let _ = writeln!(
+                s,
+                "  unit #{:<6} seed {:#018x}  cohort {}",
+                v.index,
+                v.seed,
+                crate::cohort::COHORTS[v.cohort].name
+            );
+            for row in &v.rows {
+                let _ = writeln!(
+                    s,
+                    "    {:<18} {} measured {:.4} outside [{:.4}, {:.4}]",
+                    row.code, row.rate, row.measured, row.lo, row.hi
+                );
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::VetoRow;
+    use crate::{aggregate::CohortAggregate, FleetOptions};
+
+    fn tiny_report() -> FleetReport {
+        let mut cohorts = vec![CohortAggregate::default(); crate::cohort::COHORTS.len()];
+        cohorts[0].sessions = 2;
+        cohorts[0].cycles = 200_000;
+        cohorts[0].instructions = 120_000;
+        cohorts[0].session_cycles.record(100_000);
+        cohorts[0].session_cycles.record(100_000);
+        FleetReport {
+            opts: FleetOptions::default(),
+            planted: 1,
+            cohorts,
+            vetoes: vec![VetoRecord {
+                index: 7,
+                seed: 0xDEAD_BEEF,
+                cohort: crate::cohort::LEAN,
+                rows: vec![VetoRow {
+                    rate: "flash_per_100_instrs",
+                    code: "FLEET-FLASH-RATE",
+                    measured: 24.5,
+                    lo: 0.0,
+                    hi: 2.8,
+                }],
+            }],
+            shard_cycles: vec![100_000, 100_000],
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_carries_the_veto() {
+        let r = tiny_report();
+        let a = render_json(&r);
+        assert_eq!(a, render_json(&r), "rendering is pure");
+        assert!(a.contains("\"seed\":\"0x00000000deadbeef\""), "{a}");
+        assert!(a.contains("FLEET-FLASH-RATE"), "{a}");
+        assert!(a.contains("\"cohort\":\"engine-lean\""), "{a}");
+        assert!(a.contains("\"planted\": 1"), "{a}");
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(0.5), "0.5");
+    }
+
+    #[test]
+    fn text_report_names_the_vetoed_unit() {
+        let t = render_text(&tiny_report());
+        assert!(t.contains("unit #7"), "{t}");
+        assert!(t.contains("engine-lean"), "{t}");
+        assert!(t.contains("FLEET-FLASH-RATE"), "{t}");
+    }
+}

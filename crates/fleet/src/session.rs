@@ -1,0 +1,169 @@
+//! One fleet session: replay a prebuilt cohort image on a fresh
+//! Emulation Device, drain the trace through the framed tool link at the
+//! unit's derived fault rate, and check the measured counters against
+//! the cohort's static envelope.
+
+use audo_analyze::predict::{self, CheckRow};
+use audo_common::SimError;
+use audo_dap::FaultConfig;
+use audo_ed::{EdConfig, EmulationDevice};
+use audo_obs::Histogram;
+use audo_profiler::session::{profile, DrainPolicy, SessionOptions, ToolLinkOptions};
+use audo_profiler::spec::ProfileSpec;
+use audo_profiler::Metric;
+
+use crate::cohort::CohortArtifacts;
+use crate::derive::VehicleSpec;
+use crate::FleetOptions;
+
+/// Stable veto finding codes, one per checked rate.
+#[must_use]
+pub fn veto_code(rate: &str) -> &'static str {
+    match rate {
+        "ipc" => "FLEET-IPC-RANGE",
+        "flash_per_100_instrs" => "FLEET-FLASH-RATE",
+        _ => "FLEET-RATE",
+    }
+}
+
+/// One divergence-table row of a vetoed session (a serializable
+/// reduction of [`CheckRow`]).
+#[derive(Debug, Clone)]
+pub struct VetoRow {
+    /// Rate name (`ipc`, `flash_per_100_instrs`, …).
+    pub rate: &'static str,
+    /// Stable finding code.
+    pub code: &'static str,
+    /// Measured value.
+    pub measured: f64,
+    /// Inclusive static lower bound.
+    pub lo: f64,
+    /// Inclusive static upper bound.
+    pub hi: f64,
+}
+
+/// What one session contributes to the fleet aggregates.
+#[derive(Debug, Clone)]
+pub struct SessionSample {
+    /// Simulated cycles the session ran.
+    pub cycles: u64,
+    /// Retired TriCore instructions.
+    pub instructions: u64,
+    /// Trace bytes the MCDS produced.
+    pub trace_produced: u64,
+    /// Trace bytes lost to EMEM overflow.
+    pub trace_lost: u64,
+    /// Tool-link retransmissions.
+    pub link_retries: u64,
+    /// Tool-link response timeouts.
+    pub link_timeouts: u64,
+    /// The trace drain ended truncated.
+    pub link_truncated: bool,
+    /// DAP transaction latency histogram (cycles).
+    pub dap_transaction_cycles: Histogram,
+    /// MCDS encoded message size histogram (bytes).
+    pub mcds_message_bytes: Histogram,
+    /// The measured snapshot diverged from the cohort envelope.
+    pub vetoed: bool,
+    /// The diverged rates (empty unless vetoed).
+    pub veto_rows: Vec<VetoRow>,
+}
+
+/// Runs session `spec` against its cohort artifacts.
+///
+/// The veto reads the device-side counters (sampled from the SoC after
+/// the run), not the drained trace, so an injected link fault can never
+/// mask a miscalibrated unit — a noisy link shows up in the link stats,
+/// a wrong calibration in the divergence rows.
+///
+/// # Errors
+///
+/// Propagates simulation errors (a session that fails to halt within its
+/// cohort budget is a fleet-engine bug, surfaced with the unit's seed by
+/// the caller).
+pub fn run_session(
+    art: &CohortArtifacts,
+    rogue: &audo_workloads::Workload,
+    spec: &VehicleSpec,
+    opts: &FleetOptions,
+) -> Result<SessionSample, SimError> {
+    let workload = if spec.miscalibrated {
+        rogue
+    } else {
+        &art.workload
+    };
+    let mut ed = EmulationDevice::new(art.config.clone(), EdConfig::default());
+    workload.install_ed(&mut ed)?;
+
+    let profile_spec = ProfileSpec::new()
+        .metric(Metric::Ipc, opts.metric_window)
+        .with_timestamp_shift(4);
+    let faults = if spec.fault_rate > 0.0 {
+        FaultConfig::uniform(spec.fault_rate, spec.seed)
+    } else {
+        FaultConfig::lossless()
+    };
+    let outcome = profile(
+        &mut ed,
+        &profile_spec,
+        &SessionOptions {
+            max_cycles: art.budget.max(rogue.max_cycles),
+            drain: DrainPolicy::Session(ToolLinkOptions {
+                faults,
+                ..ToolLinkOptions::default()
+            }),
+            run_to_halt: true,
+            observe: true,
+        },
+    )?;
+
+    // The measured snapshot: every counter/gauge the run sampled, under
+    // the same sanitised names a Prometheus export would use — the veto
+    // sees exactly what `analyze --check-against` would see.
+    let mut snapshot = std::collections::BTreeMap::new();
+    for (name, v) in outcome.obs.counters() {
+        // reason: counter tallies are far below 2^53; exact in f64.
+        #[allow(clippy::cast_precision_loss)]
+        snapshot.insert(audo_obs::metrics_text::sanitize(name), v as f64);
+    }
+    for (name, v) in outcome.obs.gauges() {
+        snapshot.insert(audo_obs::metrics_text::sanitize(name), v);
+    }
+    let rows = predict::check(&art.envelope, &snapshot);
+    let veto_rows: Vec<VetoRow> = rows
+        .iter()
+        .filter(|r| !r.ok())
+        .map(|r: &CheckRow| VetoRow {
+            rate: r.name,
+            code: veto_code(r.name),
+            measured: r.measured.unwrap_or(f64::NAN),
+            lo: r.lo,
+            hi: r.hi,
+        })
+        .collect();
+
+    let find_hist = |suffix: &str| {
+        outcome
+            .obs
+            .histograms()
+            .find(|(n, _)| n.ends_with(suffix))
+            .map(|(_, h)| h.clone())
+            .unwrap_or_default()
+    };
+    let (link_retries, link_timeouts, link_truncated) = outcome.tool.map_or((0, 0, false), |t| {
+        (t.stats.retries, t.stats.timeouts, t.stats.trace_truncated)
+    });
+    Ok(SessionSample {
+        cycles: outcome.cycles,
+        instructions: outcome.obs.counter("soc.tricore.instructions_retired"),
+        trace_produced: outcome.produced_bytes,
+        trace_lost: outcome.lost_bytes,
+        link_retries,
+        link_timeouts,
+        link_truncated,
+        dap_transaction_cycles: find_hist("dap.transaction_cycles"),
+        mcds_message_bytes: find_hist("mcds.message_bytes"),
+        vetoed: !veto_rows.is_empty(),
+        veto_rows,
+    })
+}

@@ -97,6 +97,44 @@ impl Histogram {
     }
 
     /// Merges another histogram's samples into this one.
+    ///
+    /// Because the bucket geometry is fixed, merging shard-local
+    /// histograms is exact: the merged percentiles are identical to the
+    /// percentiles of one histogram that had seen every sample — which is
+    /// what lets a fleet run fold thousands of per-session histograms
+    /// into one aggregate without retaining any session.
+    ///
+    /// ```
+    /// use audo_obs::Histogram;
+    ///
+    /// // Two shards record disjoint halves of the same latency population.
+    /// let mut shard_a = Histogram::default();
+    /// let mut shard_b = Histogram::default();
+    /// for v in [3, 5, 7, 9] {
+    ///     shard_a.record(v);
+    /// }
+    /// for v in [200, 300, 400, 500] {
+    ///     shard_b.record(v);
+    /// }
+    ///
+    /// // Fold shard B into shard A (the fleet-aggregation direction).
+    /// shard_a.merge(&shard_b);
+    /// assert_eq!(shard_a.count(), 8);
+    /// assert_eq!(shard_a.sum(), 3 + 5 + 7 + 9 + 200 + 300 + 400 + 500);
+    ///
+    /// // The merged fold answers population percentiles: half the samples
+    /// // are small (p50 resolves to the <=15 bucket), the tail is shard
+    /// // B's (p99 resolves to the <=511 bucket).
+    /// assert_eq!(shard_a.percentile(50.0), 15);
+    /// assert_eq!(shard_a.percentile(99.0), 511);
+    ///
+    /// // Identical to a single histogram that saw all eight samples.
+    /// let mut whole = Histogram::default();
+    /// for v in [3, 5, 7, 9, 200, 300, 400, 500] {
+    ///     whole.record(v);
+    /// }
+    /// assert_eq!(shard_a, whole);
+    /// ```
     pub fn merge(&mut self, other: &Histogram) {
         for (i, n) in other.buckets.iter().enumerate() {
             self.buckets[i] += n;
@@ -105,18 +143,41 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
-    /// Upper bound of the bucket holding the `p`-th percentile sample
-    /// (`p` in `0..=100`), i.e. an upper bound on the true quantile with
-    /// power-of-two resolution. Returns 0 for an empty histogram.
+    /// Upper bound of the bucket holding the `p`-th percentile sample,
+    /// i.e. an upper bound on the true quantile with power-of-two
+    /// resolution.
+    ///
+    /// The contract (pinned by unit tests — fleet aggregation folds
+    /// shard histograms with [`Histogram::merge`] and then reads
+    /// percentiles, so these edges must not drift):
+    ///
+    /// * **Empty histogram**: returns `0` for every `p`. An empty
+    ///   aggregate renders as all-zero percentiles, never a sentinel.
+    /// * **Rank**: the result is the bound of the bucket containing the
+    ///   `ceil(p/100 · count)`-th smallest sample, clamped to
+    ///   `1..=count` — so `p = 0` (and any `p < 0`) answers the bucket
+    ///   of the *smallest* sample and `p = 100` (and any `p > 100`) the
+    ///   bucket of the *largest*.
+    /// * **Single-bucket histogram**: every `p` returns that bucket's
+    ///   bound (there is only one bucket any rank can land in).
+    /// * **Non-finite `p`** (`NaN`, `±inf` after the clamp): treated as
+    ///   `p = 0`, i.e. the smallest sample's bucket — never a panic.
     #[must_use]
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let frac = if p.is_finite() {
+            p.clamp(0.0, 100.0) / 100.0
+        } else if p == f64::INFINITY {
+            1.0
+        } else {
+            0.0
+        };
         // reason: count is a sample tally (far below 2^53) and the product
         // is clamped non-negative, so the f64 rank math is exact enough.
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let rank = ((p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let rank = ((frac * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
         for (bound, n) in self.nonzero_buckets() {
             seen += n;
@@ -124,6 +185,8 @@ impl Histogram {
                 return bound;
             }
         }
+        // Unreachable: rank <= count and the buckets sum to count; kept
+        // as a total-function fallback rather than a panic.
         u64::MAX
     }
 
@@ -513,6 +576,70 @@ mod tests {
         assert_eq!(h.percentile(99.0), 1023);
         assert_eq!(h.percentile(100.0), 1023);
         assert_eq!(Histogram::default().percentile(50.0), 0);
+    }
+
+    #[test]
+    fn percentile_contract_empty_and_single_bucket() {
+        // Empty: every p answers 0, including the weird ones.
+        let empty = Histogram::default();
+        for p in [-10.0, 0.0, 50.0, 100.0, 250.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(empty.percentile(p), 0, "empty at p={p}");
+        }
+        // Single sample: every p answers its bucket bound.
+        let mut one = Histogram::default();
+        one.record(100); // bucket bound 127
+        for p in [-1.0, 0.0, 1.0, 50.0, 99.9, 100.0, 101.0] {
+            assert_eq!(one.percentile(p), 127, "single sample at p={p}");
+        }
+        // Single bucket, many samples: still one possible answer.
+        let mut packed = Histogram::default();
+        for v in 64..128 {
+            packed.record(v); // all land in the <=127 bucket
+        }
+        for p in [0.0, 25.0, 50.0, 100.0] {
+            assert_eq!(packed.percentile(p), 127, "single bucket at p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_contract_extremes_and_nonfinite() {
+        let mut h = Histogram::default();
+        h.record(1); // bucket bound 1
+        h.record(1000); // bucket bound 1023
+                        // p=0 / negative p: the smallest sample's bucket.
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(-5.0), 1);
+        // p=100 / beyond: the largest sample's bucket.
+        assert_eq!(h.percentile(100.0), 1023);
+        assert_eq!(h.percentile(400.0), 1023);
+        // Non-finite p never panics: NaN and -inf act as p=0, +inf as 100.
+        assert_eq!(h.percentile(f64::NAN), 1);
+        assert_eq!(h.percentile(f64::NEG_INFINITY), 1);
+        assert_eq!(h.percentile(f64::INFINITY), 1023);
+    }
+
+    #[test]
+    fn percentile_of_merge_equals_percentile_of_whole() {
+        // The two-shard fold the fleet aggregation relies on: merging
+        // shard histograms then reading percentiles must equal one
+        // histogram that saw every sample.
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for i in 0..100u64 {
+            let v = i * i % 4097;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p));
+        }
     }
 
     #[test]

@@ -31,4 +31,10 @@ cargo run --release -q -p audo-bench --bin pipeline_bench -- --json BENCH_pipeli
 echo "==> BENCH_experiments.json (paper experiment timings)"
 cargo run --release -q -p audo-bench --bin experiments -- --json BENCH_experiments.json
 
+echo "==> BENCH_fleet.json (fleet calibration sessions/sec)"
+# 1000 derived sessions at the machine's parallelism; the deterministic
+# report goes to /dev/null, only the wall-clock throughput is recorded.
+cargo run --release -q -p audo-bench --bin fleet -- \
+    --sessions 1000 --seed 0xA0D0 --json --bench-json BENCH_fleet.json >/dev/null
+
 echo "bench artifacts written."

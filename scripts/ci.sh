@@ -129,6 +129,38 @@ echo "==> pipeline fast-path gate: cached vs uncached byte-identical"
 # transactions, registers and rendered metrics with the cache on and off.
 ./target/release/pipeline_check
 
+echo "==> fleet gate: clean fleet exits 0, planted unit vetoed, --jobs byte-identical"
+# The fleet report is a pure function of its options: a small healthy
+# fleet must self-check clean inside every cohort's static envelope, the
+# worker count must not leak one byte into the report, and a planted
+# miscalibrated unit must trip the exit-2 divergence veto, named by seed
+# and finding code (tests/fleet_determinism.rs pins the derivation).
+fl_dir="$(mktemp -d)"
+./target/release/fleet --sessions 48 --seed 0xA0D0 --jobs 2 --json >"$fl_dir/clean_j2.json"
+./target/release/fleet --sessions 48 --seed 0xA0D0 --jobs 1 --json >"$fl_dir/clean_j1.json"
+cmp "$fl_dir/clean_j2.json" "$fl_dir/clean_j1.json"
+if ./target/release/fleet --sessions 12 --seed 0xA0D0 --miscalibrate 1/4 \
+    --json >"$fl_dir/planted.json"; then
+    echo "fleet failed to veto a planted miscalibrated unit" >&2
+    exit 1
+fi
+grep -q 'FLEET-FLASH-RATE' "$fl_dir/planted.json"
+grep -q '"seed":"0x' "$fl_dir/planted.json"
+rm -rf "$fl_dir"
+echo "fleet gate passed"
+
+echo "==> missing-docs gate: operator-surface crates deny undocumented items"
+# The documented operator surface (observability, static analysis, fleet
+# service) must carry #![warn(missing_docs)]; the rustdoc gate below turns
+# those warnings into errors.
+for f in crates/common crates/mcds crates/obs crates/analyze crates/fleet; do
+    if ! grep -q '^#!\[warn(missing_docs)\]' "$f/src/lib.rs"; then
+        echo "missing #![warn(missing_docs)]: $f/src/lib.rs" >&2
+        exit 1
+    fi
+done
+echo "missing-docs gate passed"
+
 echo "==> rustdoc gate: cargo doc --no-deps (warnings are errors)"
 # Vendored dependency stand-ins (vendor/*) are workspace members but not
 # ours to document; gate only the audo crates.

@@ -1,0 +1,102 @@
+//! Fleet determinism suite.
+//!
+//! The fleet's contract is that a run is a pure function of its options:
+//! the same `(seed, sessions, fault rate, plant rate)` produce the same
+//! report — byte-identical — at any worker count, and a vetoed unit can
+//! be re-derived (and chased) from the fleet seed and its index alone.
+//! These tests pin all three legs: worker-count byte-identity, exact
+//! planted-unit detection, and the seed-derivation goldens the chasing
+//! workflow depends on.
+
+use audo_bench::run_jobs;
+use audo_fleet::{cohort, derive, fold, plan, FleetOptions};
+
+/// Runs a fleet with `jobs` workers and returns the JSON report.
+fn run_fleet(opts: &FleetOptions, jobs: usize) -> (String, bool) {
+    let plan = plan(opts.clone());
+    let timed = run_jobs(plan.shard_count(), jobs, |s| plan.run_shard(s));
+    let outcomes: Vec<_> = timed.into_iter().map(|j| j.output).collect();
+    let report = fold(&plan, &outcomes).expect("no session may fail");
+    (report.to_json(), report.is_clean())
+}
+
+#[test]
+fn report_is_byte_identical_at_any_worker_count() {
+    // Small but real: 24 sessions over 6 shards, with link faults on so
+    // the seeded fault path is exercised, and a plant rate that catches
+    // at least one unit (pinned below).
+    let opts = FleetOptions {
+        sessions: 24,
+        seed: 0xA0D0,
+        fault_rate: 0.002,
+        miscalibrate: Some(8),
+        shard_size: 4,
+        ..FleetOptions::default()
+    };
+    let (serial, _) = run_fleet(&opts, 1);
+    let (parallel, _) = run_fleet(&opts, 4);
+    assert_eq!(serial, parallel, "--jobs must not leak into the report");
+    // And the run is replayable: a second serial run is also identical.
+    let (again, _) = run_fleet(&opts, 2);
+    assert_eq!(serial, again);
+}
+
+#[test]
+fn planted_units_are_exactly_the_derived_ones() {
+    let opts = FleetOptions {
+        sessions: 12,
+        seed: 0xA0D0,
+        miscalibrate: Some(4),
+        shard_size: 4,
+        ..FleetOptions::default()
+    };
+    // The set the derivation plants (recomputable by any chasing tool).
+    let expected: Vec<u64> = (0..opts.sessions)
+        .filter(|&i| derive::is_miscalibrated(derive::vehicle_seed(opts.seed, i), 4))
+        .collect();
+    assert_eq!(expected, vec![6, 11], "derivation golden moved");
+
+    let p = plan(opts.clone());
+    let outcomes: Vec<_> = (0..p.shard_count()).map(|s| p.run_shard(s)).collect();
+    let report = fold(&p, &outcomes).expect("no session may fail");
+
+    // Detection is exact: every planted unit vetoed, nothing else.
+    let vetoed: Vec<u64> = report.vetoes.iter().map(|v| v.index).collect();
+    assert_eq!(vetoed, expected);
+    assert_eq!(report.planted, expected.len() as u64);
+    for v in &report.vetoes {
+        assert_eq!(v.seed, derive::vehicle_seed(opts.seed, v.index));
+        assert_eq!(
+            v.cohort,
+            cohort::LEAN,
+            "planted units claim the lean cohort"
+        );
+        assert!(
+            v.rows.iter().any(|r| r.code == "FLEET-FLASH-RATE"),
+            "the flash-rate finding is the detection signal: {:?}",
+            v.rows
+        );
+    }
+}
+
+#[test]
+fn seed_derivation_goldens() {
+    // splitmix64 reference vector (Steele, Lea & Flood): first output of
+    // the zero-seeded generator.
+    assert_eq!(derive::splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    // Vehicle-seed goldens under fleet seed 0xA0D0 — the seed the CI
+    // gate, EXPERIMENTS.md and the chasing recipe all use.
+    assert_eq!(derive::vehicle_seed(0xA0D0, 0), 0x1C78_09FC_6A9F_D028);
+    assert_eq!(derive::vehicle_seed(0xA0D0, 434), 0xA0F3_DCE2_F2FF_939B);
+    // The 1-in-1000 plant of the documented 1000-session run is exactly
+    // unit #434.
+    let planted: Vec<u64> = (0..1000)
+        .filter(|&i| derive::is_miscalibrated(derive::vehicle_seed(0xA0D0, i), 1000))
+        .collect();
+    assert_eq!(planted, vec![434]);
+    // Derived specs are pure and complete.
+    let v = derive::vehicle(0xA0D0, 434, 0.001, Some(1000));
+    assert!(v.miscalibrated);
+    assert_eq!(v.cohort, cohort::LEAN);
+    assert_eq!(v, derive::vehicle(0xA0D0, 434, 0.001, Some(1000)));
+}

@@ -1,13 +1,18 @@
 //! `audo-asm` — assembler / disassembler for TC-R programs.
 //!
 //! ```text
-//! audo-asm <program.asm>            # assemble; print section + symbol summary
-//! audo-asm <program.asm> --list     # also print a disassembly listing
-//! audo-asm <program.asm> --hex      # dump sections as hex words
+//! audo-asm <program.asm|program.md>  # assemble; print section + symbol summary
+//! audo-asm <program> --list          # also print a disassembly listing
+//! audo-asm <program> --hex           # dump sections as hex words
 //! ```
+//!
+//! `.md` inputs are treated as literate programs (markdown with fenced
+//! `asm` blocks, see `audo_asm::literate`); anything else is raw
+//! assembly.
 
 use std::process::ExitCode;
 
+use audo_asm::parse_literate;
 use audo_tricore::asm::assemble;
 use audo_tricore::disasm::disassemble_range;
 
@@ -20,7 +25,7 @@ fn main() -> ExitCode {
             "--list" => list = true,
             "--hex" => hex = true,
             "--help" | "-h" => {
-                eprintln!("usage: audo-asm <program.asm> [--list] [--hex]");
+                eprintln!("usage: audo-asm <program.asm|program.md> [--list] [--hex]");
                 return ExitCode::FAILURE;
             }
             other if path.is_empty() && !other.starts_with('-') => path = other.to_string(),
@@ -31,7 +36,7 @@ fn main() -> ExitCode {
         }
     }
     if path.is_empty() {
-        eprintln!("usage: audo-asm <program.asm> [--list] [--hex]");
+        eprintln!("usage: audo-asm <program.asm|program.md> [--list] [--hex]");
         return ExitCode::FAILURE;
     }
     let src = match std::fs::read_to_string(&path) {
@@ -41,11 +46,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let image = match assemble(&src) {
-        Ok(i) => i,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    let image = if path.ends_with(".md") {
+        let program = match parse_literate(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{path}: literate program `{}` (tiers {:?}, max-instrs {})",
+            program.name, program.tiers, program.max_instrs
+        );
+        match program.assemble() {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match assemble(&src) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     println!(

@@ -1,0 +1,97 @@
+//! Workload-corpus loader: a directory of literate `.md` programs.
+
+use std::path::{Path, PathBuf};
+
+use audo_common::SimError;
+use audo_tricore::Image;
+
+use crate::literate::{parse_literate, LiterateProgram};
+
+/// One corpus program: the parsed document plus its assembled image.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// File name within the corpus directory (e.g. `01_alu_forms.md`).
+    pub file_name: String,
+    /// Parsed literate program (directives + extracted source).
+    pub program: LiterateProgram,
+    /// The assembled image.
+    pub image: Image,
+}
+
+/// The repository's checked-in corpus directory (`workloads/corpus/`).
+#[must_use]
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../workloads/corpus")
+}
+
+fn io_err(what: &Path, e: &std::io::Error) -> SimError {
+    SimError::InvalidConfig {
+        message: format!("corpus: cannot read {}: {e}", what.display()),
+    }
+}
+
+/// Loads every `.md` program in `dir`, sorted by file name.
+///
+/// The deterministic order matters: fuzz-session corpus mutation picks
+/// entries by index from a seeded stream, so the directory listing must
+/// not leak OS iteration order into results.
+///
+/// # Errors
+///
+/// Fails with [`SimError::InvalidConfig`] on I/O errors and with
+/// [`SimError::Assemble`] (prefixed by the file name in the message) if
+/// any program fails to parse or assemble.
+pub fn load_corpus(dir: &Path) -> Result<Vec<CorpusEntry>, SimError> {
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| io_err(dir, &e))? {
+        let entry = entry.map_err(|e| io_err(dir, &e))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".md") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    let mut out = Vec::with_capacity(names.len());
+    for name in names {
+        let path = dir.join(&name);
+        let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, &e))?;
+        let annotate = |e: SimError| match e {
+            SimError::Assemble { line, message } => SimError::Assemble {
+                line,
+                message: format!("{name}: {message}"),
+            },
+            other => other,
+        };
+        let program = parse_literate(&text).map_err(annotate)?;
+        let image = program.assemble().map_err(annotate)?;
+        out.push(CorpusEntry {
+            file_name: name,
+            program,
+            image,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_corpus_loads_sorted_and_nonempty() {
+        let entries = load_corpus(&default_corpus_dir()).expect("corpus loads");
+        assert!(entries.len() >= 10, "corpus too small: {}", entries.len());
+        for pair in entries.windows(2) {
+            assert!(pair[0].file_name < pair[1].file_name);
+        }
+        for e in &entries {
+            assert!(e.image.size() > 0, "{} is empty", e.file_name);
+        }
+    }
+
+    #[test]
+    fn missing_directory_reports_a_config_error() {
+        let e = load_corpus(Path::new("/nonexistent/corpus")).unwrap_err();
+        assert!(matches!(e, SimError::InvalidConfig { .. }));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Literate-assembly workloads: markdown programs → loadable images.
+//!
+//! The workload corpus under `workloads/corpus/` is written as ordinary
+//! markdown — prose explaining *why* a program pokes at an ISA corner,
+//! with the program itself in ` ```asm ` fenced blocks. This crate turns
+//! such a document into a loadable [`audo_tricore::Image`]:
+//!
+//! - [`literate`] extracts the fenced blocks **line-preservingly** (every
+//!   non-asm line becomes a blank line), so assembler diagnostics point at
+//!   the markdown source line, and parses `<!-- audo-asm: key = value -->`
+//!   directives (`name`, `tiers`, `max-instrs`) that tell the test
+//!   harnesses how to run the program;
+//! - [`corpus`] loads a directory of such programs in a deterministic
+//!   order.
+//!
+//! The assembler itself lives in [`audo_tricore::asm`] and is driven by
+//! the encoder tables of [`audo_tricore::encode`]/[`audo_tricore::opcodes`]
+//! — the single source of truth. Every encodable instruction is
+//! assemblable (pinned by this crate's exhaustive test over
+//! [`audo_tricore::opcodes::sample_instr`]) and everything else is
+//! rejected at parse time with a line number.
+//!
+//! The `audo-asm` binary assembles both literate `.md` programs and raw
+//! `.asm` files and can print listings and hex dumps.
+
+pub mod corpus;
+pub mod literate;
+
+pub use corpus::{default_corpus_dir, load_corpus, CorpusEntry};
+pub use literate::{parse_literate, LiterateProgram, Tiers};

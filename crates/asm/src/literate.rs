@@ -1,0 +1,281 @@
+//! The literate workload format: markdown with fenced `asm` blocks.
+//!
+//! # Format
+//!
+//! ````markdown
+//! # Program title
+//!
+//! <!-- audo-asm: tiers = all -->
+//! <!-- audo-asm: max-instrs = 200000 -->
+//!
+//! Prose. Only fenced blocks whose info string starts with `asm`
+//! contribute code; everything else is commentary.
+//!
+//! ```asm
+//! .org 0x80000000
+//! _start:
+//!     movi d0, 7
+//!     halt
+//! ```
+//! ````
+//!
+//! Extraction is **line-preserving**: the assembled source has exactly as
+//! many lines as the markdown document, with every non-asm line blank, so
+//! a [`SimError::Assemble`] line number points straight at the `.md`
+//! file.
+
+use audo_common::SimError;
+use audo_tricore::asm::assemble;
+use audo_tricore::Image;
+
+/// Which execution tiers a corpus program is expected to agree on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tiers {
+    /// All four run configurations (ISS slow/fast, pipeline uncached/
+    /// cached) must agree on the architectural outcome.
+    All,
+    /// Only the two ISS paths are compared. Used by programs whose
+    /// semantics legitimately differ on the pipeline: self-modifying code
+    /// (the fetch buffer may execute a just-patched instruction stale)
+    /// and `wait` (the pipeline idles for an interrupt that never comes
+    /// on a bare test bus).
+    IssOnly,
+}
+
+/// A parsed literate program: run directives plus the extracted source.
+#[derive(Debug, Clone)]
+pub struct LiterateProgram {
+    /// Program name (the `name` directive, else the first `#` heading,
+    /// else `"unnamed"`).
+    pub name: String,
+    /// Tier-agreement contract (`tiers` directive, default [`Tiers::All`]).
+    pub tiers: Tiers,
+    /// Retired-instruction budget for runs (`max-instrs` directive,
+    /// default 1,000,000).
+    pub max_instrs: u64,
+    /// Line-preserving extracted assembly source.
+    pub source: String,
+}
+
+impl LiterateProgram {
+    /// Assembles the extracted source into an image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Assemble`] with a line number that refers to
+    /// the original markdown document.
+    pub fn assemble(&self) -> Result<Image, SimError> {
+        assemble(&self.source)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> SimError {
+    SimError::Assemble {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Parses a literate markdown document into a [`LiterateProgram`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Assemble`] (with the offending markdown line) for
+/// an unknown or malformed `audo-asm` directive, an unclosed fence, or a
+/// document with no `asm` blocks at all. Assembly itself happens in
+/// [`LiterateProgram::assemble`].
+pub fn parse_literate(text: &str) -> Result<LiterateProgram, SimError> {
+    let mut name: Option<String> = None;
+    let mut heading: Option<String> = None;
+    let mut tiers = Tiers::All;
+    let mut max_instrs: u64 = 1_000_000;
+    let mut source = String::new();
+    let mut in_asm = false;
+    let mut in_other = false;
+    let mut fence_line = 0;
+    let mut asm_lines = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim();
+        if in_asm || in_other {
+            if trimmed == "```" {
+                in_asm = false;
+                in_other = false;
+                source.push('\n');
+                continue;
+            }
+            if in_asm {
+                source.push_str(raw);
+                asm_lines += 1;
+            }
+            source.push('\n');
+            continue;
+        }
+        if let Some(info) = trimmed.strip_prefix("```") {
+            let info = info.trim();
+            if info == "asm" || info.starts_with("asm ") {
+                in_asm = true;
+            } else {
+                in_other = true;
+            }
+            fence_line = line_no;
+            source.push('\n');
+            continue;
+        }
+        if let Some(body) = trimmed
+            .strip_prefix("<!--")
+            .and_then(|s| s.strip_suffix("-->"))
+        {
+            let body = body.trim();
+            if let Some(directive) = body.strip_prefix("audo-asm:") {
+                let (key, value) = directive
+                    .split_once('=')
+                    .ok_or_else(|| err(line_no, "audo-asm directive needs `key = value`"))?;
+                let (key, value) = (key.trim(), value.trim());
+                match key {
+                    "name" => name = Some(value.to_string()),
+                    "tiers" => {
+                        tiers = match value {
+                            "all" => Tiers::All,
+                            "iss" => Tiers::IssOnly,
+                            other => {
+                                return Err(err(
+                                    line_no,
+                                    format!("unknown tiers value `{other}` (want all|iss)"),
+                                ))
+                            }
+                        }
+                    }
+                    "max-instrs" => {
+                        max_instrs = parse_u64(value)
+                            .ok_or_else(|| err(line_no, format!("bad max-instrs `{value}`")))?;
+                    }
+                    other => {
+                        return Err(err(line_no, format!("unknown audo-asm key `{other}`")));
+                    }
+                }
+            }
+            source.push('\n');
+            continue;
+        }
+        if heading.is_none() {
+            if let Some(h) = trimmed.strip_prefix("# ") {
+                heading = Some(h.trim().to_string());
+            }
+        }
+        source.push('\n');
+    }
+    if in_asm || in_other {
+        return Err(err(fence_line, "unclosed code fence"));
+    }
+    if asm_lines == 0 {
+        return Err(err(1, "document has no ```asm blocks"));
+    }
+    Ok(LiterateProgram {
+        name: name.or(heading).unwrap_or_else(|| "unnamed".to_string()),
+        tiers,
+        max_instrs,
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "# Demo program
+
+<!-- audo-asm: tiers = iss -->
+<!-- audo-asm: max-instrs = 0x200 -->
+
+Some prose with `inline code`.
+
+```asm
+.org 0x1000
+_start:
+    movi d0, 7
+```
+
+More prose, including a non-asm fence:
+
+```text
+not code
+```
+
+```asm
+    halt
+```
+";
+
+    #[test]
+    fn extracts_asm_blocks_line_preservingly() {
+        let p = parse_literate(DOC).unwrap();
+        assert_eq!(p.name, "Demo program");
+        assert_eq!(p.tiers, Tiers::IssOnly);
+        assert_eq!(p.max_instrs, 0x200);
+        // Same number of lines as the document.
+        assert_eq!(p.source.lines().count(), DOC.lines().count());
+        // The `movi` sits on the same line as in the markdown (line 11).
+        let lines: Vec<&str> = p.source.lines().collect();
+        assert_eq!(lines[10].trim(), "movi d0, 7");
+        // The text fence contributed nothing.
+        assert!(!p.source.contains("not code"));
+        let image = p.assemble().unwrap();
+        assert_eq!(image.symbol("_start"), Some(audo_common::Addr(0x1000)));
+    }
+
+    #[test]
+    fn assembler_errors_point_at_markdown_lines() {
+        let doc = "# Bad\n\n```asm\n.org 0x1000\n bogus d1\n```\n";
+        let p = parse_literate(doc).unwrap();
+        let e = p.assemble().unwrap_err();
+        let SimError::Assemble { line, .. } = e else {
+            panic!("expected assemble error, got {e}");
+        };
+        assert_eq!(line, 5, "line number must refer to the .md document");
+    }
+
+    #[test]
+    fn unknown_directive_is_rejected() {
+        let doc = "<!-- audo-asm: frobnicate = 1 -->\n```asm\nnop\n```\n";
+        let e = parse_literate(doc).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"), "{e}");
+    }
+
+    #[test]
+    fn bad_tiers_value_is_rejected() {
+        let doc = "<!-- audo-asm: tiers = pipeline -->\n```asm\nnop\n```\n";
+        assert!(parse_literate(doc).is_err());
+    }
+
+    #[test]
+    fn unclosed_fence_is_rejected() {
+        let doc = "```asm\nnop\n";
+        let e = parse_literate(doc).unwrap_err();
+        assert!(e.to_string().contains("unclosed"), "{e}");
+    }
+
+    #[test]
+    fn document_without_asm_is_rejected() {
+        let doc = "# Only prose\n\nNothing to run.\n";
+        assert!(parse_literate(doc).is_err());
+    }
+
+    #[test]
+    fn plain_comments_are_ignored() {
+        let doc = "<!-- just a note -->\n```asm\n.org 0x1000\nnop\nhalt\n```\n";
+        let p = parse_literate(doc).unwrap();
+        assert_eq!(p.name, "unnamed");
+        assert_eq!(p.tiers, Tiers::All);
+        p.assemble().unwrap();
+    }
+}

@@ -39,3 +39,46 @@ fn audo_asm_reports_assembly_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mnemonic"));
 }
+
+#[test]
+fn audo_asm_assembles_literate_markdown() {
+    let dir = std::env::temp_dir().join("audo_asm_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.md");
+    std::fs::write(
+        &path,
+        "# Literate demo\n\nProse.\n\n```asm\n.org 0x1000\nstart: movi d0, 7\n halt\n```\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_audo-asm"))
+        .args([path.to_str().unwrap(), "--list"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("literate program `Literate demo`"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("movi d0, 7"), "{stdout}");
+}
+
+#[test]
+fn audo_asm_reports_literate_errors_with_md_line_numbers() {
+    let dir = std::env::temp_dir().join("audo_asm_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.md");
+    // The bogus mnemonic sits on markdown line 6.
+    std::fs::write(&path, "# Bad\n\nProse.\n\n```asm\n bogus d1\n```\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_audo-asm"))
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 6"), "{stderr}");
+}

@@ -1,0 +1,380 @@
+//! Seeded TC-R program generation and mutation.
+//!
+//! Generated programs are *random but valid by construction*: every
+//! emitted line assembles, every memory access stays inside the mapped
+//! data windows, every branch target exists, and control flow always
+//! reaches `halt` (or retires enough instructions to trip the
+//! per-program budget, which the tier checker treats as an agreed-upon
+//! outcome, not a divergence).
+//!
+//! Register conventions keep the random soup well-formed:
+//!
+//! | register | role |
+//! |----------|------|
+//! | `d0..d6`, `d8..d14` | ALU targets/operands (free soup) |
+//! | `d7` | outer pass counter — never touched by the soup |
+//! | `a2`, `a3` | data-window bases, re-anchored at every pass head |
+//! | `a4` | `ld.a`/`st.a`/`lea` operand — never used as a base |
+//! | `a5` | hardware-loop counter |
+//! | `a6`, `a7` | indirect branch/call targets, loaded with `la` |
+//! | `sp`, `ra` | reserved for the runtime |
+
+use audo_common::Addr;
+use audo_tricore::disasm::format_instr;
+use audo_tricore::opcodes::sample_instr;
+use audo_tricore::Instr;
+
+use crate::rng::Rng;
+
+/// D-registers the generator may freely read and write.
+const DSOUP: &[&str] = &[
+    "d0", "d1", "d2", "d3", "d4", "d5", "d6", "d8", "d9", "d10", "d11", "d12", "d13", "d14",
+];
+
+/// Flash base every generated program is linked at.
+pub const CODE_BASE: u32 = 0x8000_0000;
+/// Read/write data window reached through `a2`.
+pub const DATA_A2: u32 = 0xD000_0400;
+/// Read/write data window reached through `a3`.
+pub const DATA_A3: u32 = 0xD000_0600;
+/// Largest byte offset the generator uses off a window base.
+const MAX_OFF: i64 = 500;
+
+fn d(r: &mut Rng) -> &'static str {
+    DSOUP[r.below(DSOUP.len() as u64) as usize]
+}
+
+/// One random register-only ALU instruction (always assembles, touches
+/// only the d-register soup).
+fn alu_line(r: &mut Rng) -> String {
+    match r.below(14) {
+        0 => {
+            let op = *r.pick(&[
+                "add", "sub", "and", "or", "xor", "min", "max", "mul", "mac", "div", "rem", "sh",
+                "sha", "lt", "ltu", "eq", "ne", "sel",
+            ]);
+            format!("    {op} {}, {}, {}", d(r), d(r), d(r))
+        }
+        1 => {
+            let op = *r.pick(&["mov", "clz", "sext.b", "sext.h", "zext.b", "zext.h"]);
+            format!("    {op} {}, {}", d(r), d(r))
+        }
+        2 => format!("    shi {}, {}, {}", d(r), d(r), r.range(-31, 31)),
+        3 => format!("    addi {}, {}, {}", d(r), d(r), r.range(-2048, 2047)),
+        4 => {
+            let op = *r.pick(&["andi", "ori", "xori"]);
+            format!("    {op} {}, {}, {:#x}", d(r), d(r), r.below(0x1000))
+        }
+        5 => format!("    movi {}, {}", d(r), r.range(-32768, 32767)),
+        6 => format!("    movu {}, {:#x}", d(r), r.below(0x1_0000)),
+        7 => format!("    movh {}, {:#x}", d(r), r.below(0x1_0000)),
+        8 => format!("    oril {}, {:#x}", d(r), r.below(0x1_0000)),
+        9 => {
+            let op = *r.pick(&["extr", "insert"]);
+            format!(
+                "    {op} {}, {}, {}, {}",
+                d(r),
+                d(r),
+                r.below(32),
+                1 + r.below(32)
+            )
+        }
+        10 => format!("    mov.d {}, {}", d(r), r.pick(&["a2", "a3", "a4"])),
+        11 => format!("    debug {}", r.below(100)),
+        12 => "    nop".to_string(),
+        _ => format!("    addi {}, {}, {}", d(r), d(r), r.range(-8, 8)),
+    }
+}
+
+/// One random load/store against the anchored data windows. Offsets
+/// respect the access width's alignment so no candidate ever faults.
+fn mem_line(r: &mut Rng) -> String {
+    let base = *r.pick(&["a2", "a3"]);
+    match r.below(8) {
+        0 => {
+            let off = r.below(MAX_OFF as u64 / 4) * 4;
+            let op = *r.pick(&["ld.w", "st.w"]);
+            format!("    {op} {}, [{base}+{off}]", d(r))
+        }
+        1 => {
+            let off = r.below(MAX_OFF as u64 / 2) * 2;
+            let op = *r.pick(&["ld.h", "ld.hu", "st.h"]);
+            format!("    {op} {}, [{base}+{off}]", d(r))
+        }
+        2 => {
+            let off = r.below(MAX_OFF as u64);
+            let op = *r.pick(&["ld.b", "ld.bu", "st.b"]);
+            format!("    {op} {}, [{base}+{off}]", d(r))
+        }
+        3 => format!("    ld.w {}, [{base}]", d(r)),
+        4 => format!("    st.w {}, [{base}]", d(r)),
+        5 => {
+            let off = r.below(MAX_OFF as u64 / 4) * 4;
+            let op = *r.pick(&["ld.a", "st.a"]);
+            format!("    {op} a4, [{base}+{off}]")
+        }
+        6 => format!("    lea a4, {base}, {}", r.range(0, MAX_OFF)),
+        _ => {
+            let off = r.below(MAX_OFF as u64 / 4) * 4;
+            format!("    st.w {}, [a3+{off}]", d(r))
+        }
+    }
+}
+
+fn csfr_line(r: &mut Rng) -> String {
+    let csfr = *r.pick(&["core_id", "syscon", "fcx", "psw"]);
+    format!("    mfcr {}, {csfr}", d(r))
+}
+
+/// True if `instr` is safe to splice anywhere into the body at top
+/// level: it only touches the d-register soup (no memory, no control
+/// flow, no a-register or CSFR writes).
+#[must_use]
+pub fn injectable(instr: &Instr) -> bool {
+    use Instr::{
+        Add, AddI, And, AndI, Clz, Debug, Div, EqR, Extr, Insert, Lt, LtU, Mac, Max, Min, MovAtoD,
+        MovD, MovH, MovI, MovU, Mul, NeR, Nop, Or, OrI, OrIL, Rem, Sel, SextB, SextH, Sh, ShI, Sha,
+        Sub, Xor, XorI, ZextB, ZextH,
+    };
+    matches!(
+        instr,
+        Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Min { .. }
+            | Max { .. }
+            | Mul { .. }
+            | Mac { .. }
+            | Div { .. }
+            | Rem { .. }
+            | Sh { .. }
+            | Sha { .. }
+            | ShI { .. }
+            | AddI { .. }
+            | AndI { .. }
+            | OrI { .. }
+            | XorI { .. }
+            | MovI { .. }
+            | MovU { .. }
+            | MovH { .. }
+            | OrIL { .. }
+            | Clz { .. }
+            | SextB { .. }
+            | SextH { .. }
+            | ZextB { .. }
+            | ZextH { .. }
+            | Extr { .. }
+            | Insert { .. }
+            | Lt { .. }
+            | LtU { .. }
+            | EqR { .. }
+            | NeR { .. }
+            | Sel { .. }
+            | MovD { .. }
+            | MovAtoD { .. }
+            | Nop
+            | Debug { .. }
+    )
+}
+
+/// Generates one random-but-valid program.
+///
+/// `hints` are opcode-slot indices the session has not covered yet;
+/// slots with an [`injectable`] sample get spliced into the body so
+/// coverage chases the uncovered tail instead of re-rolling the same
+/// hot instructions.
+#[must_use]
+pub fn generate(seed: u64, hints: &[u8]) -> String {
+    let mut r = Rng::new(seed);
+    let mut label = 0u32;
+    let hint_lines: Vec<String> = hints
+        .iter()
+        .filter_map(|&idx| sample_instr(idx))
+        .filter(injectable)
+        .map(|i| format!("    {}", format_instr(&i, Addr(CODE_BASE))))
+        .collect();
+
+    let leaves = r.below(3);
+    let passes = r.range(2, 4);
+    let body_len = r.range(20, 60);
+
+    let mut body: Vec<String> = Vec::new();
+    let mut hint_at = 0usize;
+    for _ in 0..body_len {
+        match r.below(16) {
+            0..=6 => body.push(alu_line(&mut r)),
+            7..=9 => body.push(mem_line(&mut r)),
+            10 => {
+                // Forward conditional skip over a tiny block.
+                label += 1;
+                let cond = *r.pick(&["jeq", "jne", "jlt", "jge", "jltu", "jgeu"]);
+                if r.chance(1, 3) {
+                    let jz = *r.pick(&["jz", "jnz"]);
+                    body.push(format!("    {jz} {}, skip_{label}", d(&mut r)));
+                } else {
+                    body.push(format!(
+                        "    {cond} {}, {}, skip_{label}",
+                        d(&mut r),
+                        d(&mut r)
+                    ));
+                }
+                for _ in 0..r.range(1, 3) {
+                    body.push(alu_line(&mut r));
+                }
+                body.push(format!("skip_{label}:"));
+            }
+            11 => {
+                // Counted hardware loop on a5.
+                label += 1;
+                body.push(format!("    movi d6, {}", r.range(2, 5)));
+                body.push("    mov.a a5, d6".to_string());
+                body.push(format!("hwl_{label}:"));
+                for _ in 0..r.range(1, 2) {
+                    body.push(alu_line(&mut r));
+                }
+                body.push(format!("    loop a5, hwl_{label}"));
+            }
+            12 if leaves > 0 => {
+                let leaf = r.below(leaves);
+                if r.chance(1, 2) {
+                    body.push(format!("    call leaf_{leaf}"));
+                } else {
+                    body.push(format!("    la a6, leaf_{leaf}"));
+                    body.push("    calli a6".to_string());
+                }
+            }
+            13 => {
+                // Indirect jump to the very next line.
+                label += 1;
+                body.push(format!("    la a6, join_{label}"));
+                body.push("    ji a6".to_string());
+                body.push(format!("join_{label}:"));
+            }
+            14 => body.push(csfr_line(&mut r)),
+            _ => {
+                if hint_at < hint_lines.len() {
+                    body.push(hint_lines[hint_at].clone());
+                    hint_at += 1;
+                } else {
+                    body.push(alu_line(&mut r));
+                }
+            }
+        }
+    }
+    // Whatever the weighted draw left out, splice in the remaining
+    // uncovered-slot samples so a hint is never silently dropped.
+    for line in &hint_lines[hint_at..] {
+        body.push(line.clone());
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(".org {CODE_BASE:#x}\n"));
+    out.push_str("_start:\n");
+    out.push_str("    la sp, 0xD0004000\n");
+    out.push_str(&format!("    movi d7, {passes}\n"));
+    out.push_str("pass_head:\n");
+    out.push_str(&format!("    la a2, {DATA_A2:#x}\n"));
+    out.push_str(&format!("    la a3, {DATA_A3:#x}\n"));
+    for line in &body {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("    addi d7, d7, -1\n");
+    out.push_str("    jnz d7, pass_head\n");
+    out.push_str("    debug 1\n");
+    out.push_str("    halt\n");
+    for leaf in 0..leaves {
+        out.push_str(&format!("leaf_{leaf}:\n"));
+        for _ in 0..r.range(2, 5) {
+            let line = alu_line(&mut r);
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str("    ret\n");
+    }
+    out
+}
+
+/// Mnemonics a mutation may replace: pure d-register ALU lines whose
+/// removal or replacement can never unmap an address or orphan a label.
+const MUTABLE: &[&str] = &[
+    "add", "sub", "and", "or", "xor", "min", "max", "mul", "mac", "div", "rem", "sh", "sha", "shi",
+    "addi", "andi", "ori", "xori", "movi", "movu", "movh", "oril", "clz", "sext.b", "sext.h",
+    "zext.b", "zext.h", "extr", "insert", "lt", "ltu", "eq", "ne", "sel", "mov", "debug", "nop",
+];
+
+fn is_mutable_line(line: &str) -> bool {
+    let t = line.trim();
+    if t.is_empty() || t.starts_with(';') || t.starts_with('.') || t.contains(':') {
+        return false;
+    }
+    let mnemonic = t.split_whitespace().next().unwrap_or("");
+    MUTABLE.contains(&mnemonic)
+}
+
+/// Replaces one mutable line of `src` with a fresh random ALU
+/// instruction. Returns `None` when the source has no mutable line.
+///
+/// The replacement is always a pure register instruction, so a mutated
+/// program keeps the original's memory and control-flow shape — the
+/// interesting search happens in the dataflow soup, not by breaking
+/// the scaffold.
+#[must_use]
+pub fn mutate(src: &str, seed: u64) -> Option<String> {
+    let mut r = Rng::new(seed);
+    let lines: Vec<&str> = src.lines().collect();
+    let candidates: Vec<usize> = (0..lines.len())
+        .filter(|&i| is_mutable_line(lines[i]))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let at = candidates[r.below(candidates.len() as u64) as usize];
+    let mut out: Vec<String> = lines.iter().map(|l| (*l).to_string()).collect();
+    out[at] = alu_line(&mut r);
+    Some(format!("{}\n", out.join("\n")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audo_tricore::asm::assemble;
+
+    #[test]
+    fn generated_programs_always_assemble() {
+        for seed in 0..200 {
+            let src = generate(seed, &[]);
+            assemble(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(1234, &[5, 30]), generate(1234, &[5, 30]));
+        assert_ne!(generate(1234, &[]), generate(1235, &[]));
+    }
+
+    #[test]
+    fn hints_are_spliced_into_the_body() {
+        // Slot 30 is `div`; its sample must appear when hinted.
+        let src = generate(99, &[30]);
+        assert!(src.contains("div "), "{src}");
+    }
+
+    #[test]
+    fn mutation_preserves_assemblability_often_enough() {
+        let src = generate(7, &[]);
+        let mut ok = 0;
+        for seed in 0..32 {
+            if let Some(m) = mutate(&src, seed) {
+                assert_ne!(m, src);
+                if assemble(&m).is_ok() {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(ok >= 24, "only {ok}/32 mutants assembled");
+    }
+}

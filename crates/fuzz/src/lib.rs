@@ -1,0 +1,35 @@
+//! # audo-fuzz — coverage-guided differential fuzzing across tiers
+//!
+//! The repo simulates the same guest program at three fidelities
+//! (functional ISS, ISS fast path, cycle-level pipeline with and
+//! without the predecode cache), which makes it its own oracle: any
+//! architectural disagreement between tiers is a bug in one of them.
+//! This crate industrialises that observation:
+//!
+//! | module | role |
+//! |--------|------|
+//! | [`rng`] | splitmix64 streams; all entropy derives from `(seed, case index)` |
+//! | [`gen`] | random-but-valid TC-R program generation and corpus mutation |
+//! | [`tiers`] | run one program through every tier and diff the observables |
+//! | [`shrink`] | delta-debug a diverging program to a minimal reproducer |
+//! | [`run`] | session driver: rounds, coverage feedback, shrink-and-pin |
+//!
+//! Sessions are deterministic: the report for `--seed S --iterations N`
+//! is byte-identical at any `--jobs` (see [`run`] for the contract).
+//! Coverage feedback uses the decoder-table opcode slots from
+//! [`audo_tricore::opcodes`] — uncovered slots whose sample instruction
+//! is safe to splice get injected into generated program bodies.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod rng;
+pub mod run;
+pub mod shrink;
+pub mod tiers;
+
+pub use run::{
+    run_fuzz, serial_schedule, CaseKind, CaseResult, Divergence, FuzzOptions, FuzzReport,
+};
+pub use shrink::shrink_source;
+pub use tiers::{check_image, check_source, coverage_summary, CheckOptions, TierReport};

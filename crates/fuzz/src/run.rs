@@ -1,0 +1,490 @@
+//! The fuzz session driver: rounds of generated/mutated cases, a
+//! coverage-guided feedback loop, and the shrink-and-pin path for
+//! divergences.
+//!
+//! # Determinism contract
+//!
+//! A session is a pure function of `(--seed, --iterations)`: the
+//! rendered report is byte-identical no matter how many jobs execute
+//! the cases. Three rules make that hold:
+//!
+//! * every case derives all entropy from [`case_seed`]`(seed, index)`;
+//! * coverage feedback only crosses case boundaries at **round
+//!   barriers** — within a round every case sees the coverage union of
+//!   completed rounds only, so scheduling order inside a round cannot
+//!   leak into generation;
+//! * results are folded in case-index order after each round.
+//!
+//! The scheduler itself is injected (see [`run_fuzz`]'s `schedule`
+//! parameter) so the CLI can shard rounds over the bench scheduler
+//! without this crate depending on it.
+
+use std::path::PathBuf;
+
+use audo_common::SimError;
+use audo_tricore::opcodes::{sample_instr, OPCODE_SPACE};
+
+use audo_asm::{load_corpus, CorpusEntry, Tiers};
+
+use crate::gen::{generate, injectable, mutate};
+use crate::rng::{case_seed, Rng};
+use crate::shrink::shrink_source;
+use crate::tiers::{check_source, coverage_summary, CheckOptions};
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Session seed; with `iterations` it fully determines the session.
+    pub seed: u64,
+    /// Number of fuzz cases (excluding the corpus baseline).
+    pub iterations: u64,
+    /// Retired-instruction budget per generated program.
+    pub max_instrs: u64,
+    /// Cases per round (the coverage-feedback barrier interval).
+    pub round: u64,
+    /// Corpus directory for the baseline sweep and mutation seeds;
+    /// `None` runs a generation-only session.
+    pub corpus_dir: Option<PathBuf>,
+    /// Where to write pinned reproducers; `None` disables pinning.
+    pub pin_dir: Option<PathBuf>,
+    /// Test-only fault hook, forwarded to the tier checker.
+    pub fault: Option<u8>,
+    /// Evaluation budget for shrinking one divergence.
+    pub shrink_evals: usize,
+    /// At most this many divergences are shrunk and pinned (the rest
+    /// are still reported).
+    pub max_pinned: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> FuzzOptions {
+        FuzzOptions {
+            seed: 0,
+            iterations: 100,
+            max_instrs: 200_000,
+            round: 128,
+            corpus_dir: None,
+            pin_dir: None,
+            fault: None,
+            shrink_evals: 300,
+            max_pinned: 3,
+        }
+    }
+}
+
+/// How a case's program came to be.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseKind {
+    /// Freshly generated from the case seed.
+    Generated,
+    /// A corpus program with one mutated line.
+    Mutated(String),
+}
+
+impl std::fmt::Display for CaseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaseKind::Generated => write!(f, "generated"),
+            CaseKind::Mutated(file) => write!(f, "mutated from {file}"),
+        }
+    }
+}
+
+/// Result of one fuzz case (program construction + tier check).
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Global case index.
+    pub index: u64,
+    /// Provenance of the program.
+    pub kind: CaseKind,
+    /// The program source the case ran.
+    pub source: String,
+    /// Tier set the program ran under.
+    pub tiers: Tiers,
+    /// Retire budget the case ran under.
+    pub max_instrs: u64,
+    /// Divergence message, if the tiers disagreed.
+    pub divergence: Option<String>,
+    /// The tiers agreed the program faults.
+    pub errored: bool,
+    /// Instructions the golden model retired.
+    pub retired: u64,
+    /// Golden-model opcode coverage of this case.
+    pub coverage: Box<[u64; OPCODE_SPACE]>,
+}
+
+/// One reported divergence.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Global case index (`None` for corpus-baseline divergences).
+    pub index: Option<u64>,
+    /// Provenance (`generated`, `mutated from ...`, or the corpus file).
+    pub kind: String,
+    /// The tier checker's message.
+    pub message: String,
+    /// Minimized reproducer source (empty if not shrunk).
+    pub minimized: String,
+    /// File name of the pinned reproducer, if one was written.
+    pub pinned: Option<String>,
+}
+
+/// Everything a fuzz session produced.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Session seed.
+    pub seed: u64,
+    /// Fuzz cases run (excluding the corpus baseline).
+    pub iterations: u64,
+    /// Corpus programs swept in the baseline phase.
+    pub corpus_programs: usize,
+    /// All divergences, corpus baseline first, then by case index.
+    pub divergences: Vec<Divergence>,
+    /// Programs on which the tiers agreed on a fault.
+    pub errored: u64,
+    /// Total instructions the golden model retired.
+    pub retired_total: u64,
+    /// Opcode-slot coverage union across the whole session.
+    pub coverage: Box<[u64; OPCODE_SPACE]>,
+}
+
+impl FuzzReport {
+    /// Covered/sampleable slot counts plus uncovered slot names.
+    #[must_use]
+    pub fn coverage_counts(&self) -> (usize, usize, Vec<&'static str>) {
+        coverage_summary(&self.coverage)
+    }
+
+    /// Deterministic text rendering: byte-identical for a given
+    /// `(seed, iterations)` at any job count.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fuzz session: seed {:#x}, {} iterations, corpus {} programs\n",
+            self.seed, self.iterations, self.corpus_programs
+        ));
+        out.push_str(&format!(
+            "programs with agreed guest faults: {}\n",
+            self.errored
+        ));
+        out.push_str(&format!(
+            "golden-model instructions retired: {}\n",
+            self.retired_total
+        ));
+        let (covered, sampleable, uncovered) = self.coverage_counts();
+        out.push_str(&format!("opcode coverage: {covered}/{sampleable} slots\n"));
+        if uncovered.is_empty() {
+            out.push_str("uncovered: none\n");
+        } else {
+            out.push_str(&format!("uncovered: {}\n", uncovered.join(" ")));
+        }
+        out.push_str(&format!("divergences: {}\n", self.divergences.len()));
+        for d in &self.divergences {
+            match d.index {
+                Some(i) => out.push_str(&format!("  case {i} ({}): {}\n", d.kind, d.message)),
+                None => out.push_str(&format!("  corpus {}: {}\n", d.kind, d.message)),
+            }
+            if let Some(p) = &d.pinned {
+                out.push_str(&format!(
+                    "    pinned: {p} ({} lines)\n",
+                    d.minimized.lines().count()
+                ));
+            }
+        }
+        out.push_str(if self.divergences.is_empty() {
+            "result: CLEAN\n"
+        } else {
+            "result: DIVERGED\n"
+        });
+        out
+    }
+}
+
+/// Builds and checks one case. Pure in `(options, index, hints)`.
+fn run_case(opts: &FuzzOptions, corpus: &[CorpusEntry], hints: &[u8], index: u64) -> CaseResult {
+    let cseed = case_seed(opts.seed, index);
+    let (kind, source, tiers, max_instrs) = if !corpus.is_empty() && index % 4 == 3 {
+        let mut r = Rng::new(cseed);
+        let entry = &corpus[r.below(corpus.len() as u64) as usize];
+        let base = &entry.program.source;
+        let mut chosen = base.clone();
+        for attempt in 0..8u64 {
+            if let Some(m) = mutate(base, cseed.wrapping_add(attempt)) {
+                if audo_tricore::asm::assemble(&m).is_ok() {
+                    chosen = m;
+                    break;
+                }
+            }
+        }
+        (
+            CaseKind::Mutated(entry.file_name.clone()),
+            chosen,
+            entry.program.tiers,
+            entry.program.max_instrs.min(opts.max_instrs),
+        )
+    } else {
+        (
+            CaseKind::Generated,
+            generate(cseed, hints),
+            Tiers::All,
+            opts.max_instrs,
+        )
+    };
+    let check = CheckOptions {
+        max_instrs,
+        fault: opts.fault,
+    };
+    let (divergence, errored, retired, coverage) = match check_source(&source, tiers, &check) {
+        Ok(rep) => (rep.divergence, rep.errored, rep.retired, rep.coverage),
+        // The generator/mutator guarantees assemblability, so a parse
+        // failure here is itself a finding.
+        Err(e) => (
+            Some(format!("case program does not assemble: {e}")),
+            false,
+            0,
+            Box::new([0u64; OPCODE_SPACE]),
+        ),
+    };
+    CaseResult {
+        index,
+        kind,
+        source,
+        tiers,
+        max_instrs,
+        divergence,
+        errored,
+        retired,
+        coverage,
+    }
+}
+
+/// Opcode slots that are still uncovered *and* can be chased by the
+/// generator (their sample is safe to splice into a program body).
+fn injection_hints(union: &[u64; OPCODE_SPACE]) -> Vec<u8> {
+    (0..OPCODE_SPACE)
+        .filter_map(|idx| {
+            #[allow(clippy::cast_possible_truncation)] // reason: OPCODE_SPACE is 128
+            let idx = idx as u8;
+            if union[usize::from(idx)] > 0 {
+                return None;
+            }
+            let sample = sample_instr(idx)?;
+            injectable(&sample).then_some(idx)
+        })
+        .collect()
+}
+
+fn pin_repro(
+    opts: &FuzzOptions,
+    d: &Divergence,
+    tiers: Tiers,
+    max_instrs: u64,
+) -> Result<Option<String>, SimError> {
+    let Some(dir) = &opts.pin_dir else {
+        return Ok(None);
+    };
+    let index = d
+        .index
+        .map_or_else(|| "corpus".to_string(), |i| i.to_string());
+    let file = format!("repro_seed0x{:X}_case{index}.md", opts.seed);
+    let tiers_str = match tiers {
+        Tiers::All => "all",
+        Tiers::IssOnly => "iss",
+    };
+    let body = format!(
+        "# Fuzz reproducer: case {index}\n\n\
+         Pinned by the differential fuzzer. Session seed {:#x}, case {index},\n\
+         kind: {}.\n\n\
+         Divergence:\n\n\
+         > {}\n\n\
+         <!-- audo-asm: name = repro-case-{index} -->\n\
+         <!-- audo-asm: tiers = {tiers_str} -->\n\
+         <!-- audo-asm: max-instrs = {max_instrs} -->\n\n\
+         ```asm\n{}```\n",
+        opts.seed, d.kind, d.message, d.minimized
+    );
+    std::fs::create_dir_all(dir).map_err(|e| SimError::InvalidConfig {
+        message: format!("fuzz: cannot create pin dir {}: {e}", dir.display()),
+    })?;
+    let path = dir.join(&file);
+    std::fs::write(&path, body).map_err(|e| SimError::InvalidConfig {
+        message: format!("fuzz: cannot write {}: {e}", path.display()),
+    })?;
+    Ok(Some(file))
+}
+
+/// Runs a fuzz session.
+///
+/// `schedule` maps `(case_count, case_fn)` to the vector of results
+/// *in case order*; pass [`serial_schedule`] for a single-threaded run
+/// or wrap a job scheduler for sharded rounds. `case_fn` is `Sync` and
+/// index-pure, so any sharding is sound.
+///
+/// # Errors
+///
+/// Fails if the corpus cannot be loaded or a pinned reproducer cannot
+/// be written; divergences are *reported*, not errors.
+pub fn run_fuzz<S>(opts: &FuzzOptions, schedule: S) -> Result<FuzzReport, SimError>
+where
+    S: Fn(usize, &(dyn Fn(usize) -> CaseResult + Sync)) -> Vec<CaseResult>,
+{
+    let corpus = match &opts.corpus_dir {
+        Some(dir) => load_corpus(dir)?,
+        None => Vec::new(),
+    };
+    let mut report = FuzzReport {
+        seed: opts.seed,
+        iterations: opts.iterations,
+        corpus_programs: corpus.len(),
+        divergences: Vec::new(),
+        errored: 0,
+        retired_total: 0,
+        coverage: Box::new([0u64; OPCODE_SPACE]),
+    };
+
+    // Corpus baseline: every pinned program must already agree.
+    for e in &corpus {
+        let check = CheckOptions {
+            max_instrs: e.program.max_instrs.min(opts.max_instrs),
+            fault: opts.fault,
+        };
+        let rep = crate::tiers::check_image(&e.image, e.program.tiers, &check);
+        for i in 0..OPCODE_SPACE {
+            report.coverage[i] += rep.coverage[i];
+        }
+        report.retired_total += rep.retired;
+        if rep.errored {
+            report.errored += 1;
+        }
+        if let Some(message) = rep.divergence {
+            // No pin file for corpus divergences: the checked-in corpus
+            // program is already the reproducer.
+            report.divergences.push(Divergence {
+                index: None,
+                kind: e.file_name.clone(),
+                message,
+                minimized: String::new(),
+                pinned: None,
+            });
+        }
+    }
+
+    let mut done = 0u64;
+    let mut pinned = 0usize;
+    while done < opts.iterations {
+        let n = opts.round.min(opts.iterations - done);
+        let hints = injection_hints(&report.coverage);
+        let base = done;
+        #[allow(clippy::cast_possible_truncation)] // reason: round size is small
+        let results = schedule(n as usize, &|i: usize| {
+            run_case(opts, &corpus, &hints, base + i as u64)
+        });
+        assert_eq!(results.len(), n as usize, "scheduler dropped cases");
+        for r in results {
+            for i in 0..OPCODE_SPACE {
+                report.coverage[i] += r.coverage[i];
+            }
+            report.retired_total += r.retired;
+            if r.errored {
+                report.errored += 1;
+            }
+            let Some(message) = r.divergence else {
+                continue;
+            };
+            let mut d = Divergence {
+                index: Some(r.index),
+                kind: r.kind.to_string(),
+                message,
+                minimized: String::new(),
+                pinned: None,
+            };
+            if pinned < opts.max_pinned {
+                let check = CheckOptions {
+                    max_instrs: r.max_instrs,
+                    fault: opts.fault,
+                };
+                d.minimized = shrink_source(
+                    &r.source,
+                    |s| {
+                        check_source(s, r.tiers, &check)
+                            .map(|rep| rep.divergence.is_some())
+                            .unwrap_or(false)
+                    },
+                    opts.shrink_evals,
+                );
+                d.pinned = pin_repro(opts, &d, r.tiers, r.max_instrs)?;
+                pinned += 1;
+            }
+            report.divergences.push(d);
+        }
+        done += n;
+    }
+    Ok(report)
+}
+
+/// The trivial scheduler: runs cases one after another on the calling
+/// thread.
+#[must_use]
+pub fn serial_schedule(
+    count: usize,
+    case: &(dyn Fn(usize) -> CaseResult + Sync),
+) -> Vec<CaseResult> {
+    (0..count).map(case).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> FuzzOptions {
+        FuzzOptions {
+            seed: 0xF00D,
+            iterations: 6,
+            max_instrs: 50_000,
+            round: 4,
+            ..FuzzOptions::default()
+        }
+    }
+
+    #[test]
+    fn a_small_clean_session_renders_deterministically() {
+        let a = run_fuzz(&quick_opts(), serial_schedule).unwrap();
+        let b = run_fuzz(&quick_opts(), serial_schedule).unwrap();
+        assert_eq!(a.render(), b.render());
+        assert!(a.divergences.is_empty(), "{}", a.render());
+        assert!(a.render().contains("result: CLEAN"));
+    }
+
+    #[test]
+    fn the_fault_hook_yields_shrunk_divergences() {
+        let dir = std::env::temp_dir().join("audo_fuzz_pin_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mul = audo_tricore::opcodes::opcode_by_name("mul").unwrap();
+        let opts = FuzzOptions {
+            fault: Some(mul),
+            iterations: 8,
+            pin_dir: Some(dir.clone()),
+            shrink_evals: 200,
+            max_pinned: 1,
+            ..quick_opts()
+        };
+        let rep = run_fuzz(&opts, serial_schedule).unwrap();
+        assert!(
+            !rep.divergences.is_empty(),
+            "8 generated programs should hit a mul\n{}",
+            rep.render()
+        );
+        let d = &rep.divergences[0];
+        assert!(!d.minimized.is_empty());
+        assert!(
+            d.minimized.lines().count() < 15,
+            "shrink left {} lines:\n{}",
+            d.minimized.lines().count(),
+            d.minimized
+        );
+        let pinned = d.pinned.as_ref().expect("pinned file");
+        let text = std::fs::read_to_string(dir.join(pinned)).unwrap();
+        let program = audo_asm::parse_literate(&text).expect("repro is literate");
+        program.assemble().expect("repro assembles");
+    }
+}

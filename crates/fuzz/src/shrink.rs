@@ -1,0 +1,105 @@
+//! Divergence shrinking: delta-debug a program down to a minimal
+//! reproducer.
+//!
+//! A classic ddmin loop over source *lines*, specialised for assembly:
+//! a candidate (the program with a chunk of lines deleted) is only
+//! interesting if it still assembles **and** still diverges. Removing a
+//! line that defines a still-referenced label simply fails to assemble
+//! and is skipped, so no label bookkeeping is needed. The `.org`
+//! directive line is never removed.
+//!
+//! The loop is bounded by an evaluation budget: each candidate costs a
+//! full multi-tier execution, so the shrinker prefers a good-enough
+//! minimum over a perfect one.
+
+/// Shrinks `src` while `diverges` holds.
+///
+/// `diverges` must return `true` for `src` itself (the caller found the
+/// divergence) and for any candidate that still reproduces it; it is
+/// also responsible for rejecting candidates that no longer assemble.
+/// At most `max_evals` candidate evaluations are spent.
+#[must_use]
+pub fn shrink_source<F>(src: &str, diverges: F, max_evals: usize) -> String
+where
+    F: Fn(&str) -> bool,
+{
+    let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let mut evals = 0usize;
+    let removable = |line: &str| !line.trim_start().starts_with(".org");
+
+    let mut chunk = (lines.len() / 2).max(1);
+    while chunk >= 1 && evals < max_evals {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < lines.len() && evals < max_evals {
+            let end = (start + chunk).min(lines.len());
+            if !lines[start..end].iter().all(|l| removable(l)) {
+                start += chunk;
+                continue;
+            }
+            let candidate: Vec<String> = lines[..start]
+                .iter()
+                .chain(&lines[end..])
+                .cloned()
+                .collect();
+            if candidate.is_empty() {
+                start += chunk;
+                continue;
+            }
+            let text = format!("{}\n", candidate.join("\n"));
+            evals += 1;
+            if diverges(&text) {
+                lines = candidate;
+                removed_any = true;
+                // Re-scan from the same offset: the window now holds
+                // fresh lines.
+            } else {
+                start += chunk;
+            }
+        }
+        if !removed_any {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    format!("{}\n", lines.join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// "Divergence" = the text still contains the needle and assembles
+    /// in a toy sense (every line nonempty).
+    #[test]
+    fn shrinks_to_the_needle() {
+        let src = ".org 0x1000\nfiller1\nfiller2\nneedle\nfiller3\nfiller4\nfiller5\n";
+        let out = shrink_source(src, |s| s.contains("needle"), 1_000);
+        assert_eq!(out, ".org 0x1000\nneedle\n");
+    }
+
+    #[test]
+    fn respects_the_eval_budget() {
+        let src = (0..100).map(|i| format!("l{i}\n")).collect::<String>();
+        let calls = std::cell::Cell::new(0usize);
+        let out = shrink_source(
+            &src,
+            |s| {
+                calls.set(calls.get() + 1);
+                s.contains("l99")
+            },
+            10,
+        );
+        assert!(calls.get() <= 10);
+        assert!(out.contains("l99"));
+    }
+
+    #[test]
+    fn keeps_org_lines() {
+        let src = ".org 0x1000\nneedle\n";
+        let out = shrink_source(src, |s| s.contains("needle"), 100);
+        assert!(out.starts_with(".org"));
+    }
+}

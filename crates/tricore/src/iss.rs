@@ -37,6 +37,7 @@ use crate::exec::{execute, Outcome};
 use crate::image::Image;
 use crate::isa::{Instr, InstrClass};
 use crate::mem::FlatMem;
+use crate::opcodes::{opcode_index_sized, OPCODE_SPACE};
 
 /// Why a resumable run ([`Iss::run_resumable`]) returned without error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,9 @@ pub struct IssRun {
     /// Per-retirement event stream (empty unless [`Iss::set_observation`]
     /// was enabled before the run).
     pub events: Vec<EventRecord>,
+    /// Per-opcode-slot retired counts (`None` unless
+    /// [`Iss::set_opcode_observation`] was enabled before the run).
+    pub opcode_counts: Option<Box<[u64; OPCODE_SPACE]>>,
 }
 
 /// The functional golden-model simulator.
@@ -98,6 +102,7 @@ pub struct Iss {
     block_buf: Vec<CachedInstr>,
     events: EventSink,
     mix: Option<Box<[u64; InstrClass::COUNT]>>,
+    opcodes: Option<Box<[u64; OPCODE_SPACE]>>,
 }
 
 impl Default for Iss {
@@ -120,6 +125,7 @@ impl Iss {
             block_buf: Vec::new(),
             events: EventSink::disabled(),
             mix: None,
+            opcodes: None,
         }
     }
 
@@ -208,6 +214,30 @@ impl Iss {
         self.mix.as_deref()
     }
 
+    /// Enables or disables per-opcode-format coverage counting.
+    ///
+    /// Off by default (same cost profile as [`Iss::set_mix_observation`]).
+    /// When on, every retired instruction bumps the counter of the opcode
+    /// slot it was fetched from ([`crate::opcodes::opcode_index_sized`],
+    /// so assembler-widened encodings attribute to the 32-bit slot that
+    /// actually sat in memory). This is the coverage feedback the
+    /// differential fuzzer chases. Enabling resets the counters;
+    /// disabling drops them.
+    pub fn set_opcode_observation(&mut self, enabled: bool) {
+        self.opcodes = if enabled {
+            Some(Box::new([0; OPCODE_SPACE]))
+        } else {
+            None
+        };
+    }
+
+    /// Retired-instruction counts per opcode slot (indexed by the
+    /// [`crate::opcodes`] space), if opcode coverage counting is on.
+    #[must_use]
+    pub fn opcode_counts(&self) -> Option<&[u64; OPCODE_SPACE]> {
+        self.opcodes.as_deref()
+    }
+
     /// Samples this ISS's counters into an observability registry.
     ///
     /// Records the retired-instruction total, decode-cache statistics
@@ -226,12 +256,24 @@ impl Iss {
                 reg.sample(&format!("iss.mix.{}", class.label()), mix[class.index()]);
             }
         }
+        if let Some(counts) = self.opcode_counts() {
+            for &(idx, name) in crate::opcodes::ASSIGNED {
+                reg.sample(&format!("iss.opcode.{name}"), counts[usize::from(idx)]);
+            }
+        }
     }
 
     #[inline]
     fn note_mix(&mut self, instr: &Instr) {
         if let Some(mix) = self.mix.as_deref_mut() {
             mix[instr.class().index()] += 1;
+        }
+    }
+
+    #[inline]
+    fn note_opcode(&mut self, instr: &Instr, len: u8) {
+        if let Some(counts) = self.opcodes.as_deref_mut() {
+            counts[usize::from(opcode_index_sized(instr, len))] += 1;
         }
     }
 
@@ -265,6 +307,18 @@ impl Iss {
     #[must_use]
     pub fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    /// Instructions retired so far.
+    #[must_use]
+    pub fn instr_count(&self) -> u64 {
+        self.instr_count
+    }
+
+    /// Debug marker codes retired so far, in emission order.
+    #[must_use]
+    pub fn debug_markers(&self) -> &[u8] {
+        &self.debug_markers
     }
 
     /// Per-retirement bookkeeping shared by the slow and fast paths.
@@ -322,6 +376,7 @@ impl Iss {
         let (instr, ilen) = decode(&bytes, Addr(pc))?;
         let out = execute(&mut self.state, &mut self.mem, &instr, pc, ilen)?;
         self.note_mix(&instr);
+        self.note_opcode(&instr, ilen);
         self.note_retired(pc, &out);
         Ok(out)
     }
@@ -354,6 +409,7 @@ impl Iss {
             debug_assert_eq!(self.state.pc, ci.pc, "block dispatch out of sync");
             let out = execute(&mut self.state, &mut self.mem, &ci.instr, ci.pc, ci.len)?;
             self.note_mix(&ci.instr);
+            self.note_opcode(&ci.instr, ci.len);
             self.note_retired(ci.pc, &out);
             if self.halted {
                 return Ok(false);
@@ -428,6 +484,7 @@ impl Iss {
             instr_count: self.instr_count,
             debug_markers: self.debug_markers,
             events: self.events.drain(),
+            opcode_counts: self.opcodes,
         })
     }
 }

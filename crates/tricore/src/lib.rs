@@ -15,6 +15,7 @@
 //! |---|---|
 //! | [`isa`] | the instruction set and register model |
 //! | [`encode`] | binary encode/decode (mixed 16/32-bit formats) |
+//! | [`opcodes`] | assigned-opcode tables, coverage indices, per-slot samples |
 //! | [`asm`] | two-pass text assembler |
 //! | [`disasm`] | disassembler / listing generator |
 //! | [`image`] | assembled program images and symbol tables |
@@ -67,6 +68,7 @@ pub mod image;
 pub mod isa;
 pub mod iss;
 pub mod mem;
+pub mod opcodes;
 pub mod pipeline;
 
 pub use arch::{ArchMem, ArchState};

@@ -1,0 +1,599 @@
+//! Opcode-format tables: the decoder's assigned opcode space as data.
+//!
+//! TC-R's mixed 16/32-bit formats share one 7-bit opcode field (bits 7..1
+//! of the first halfword, with bit 0 selecting the format). The assigned
+//! indices are disjoint — 16-bit forms occupy `0..=13`, 32-bit forms
+//! `16..=88` — so a single index space of [`OPCODE_SPACE`] slots covers
+//! every encoding the decoder knows, and everything outside [`ASSIGNED`]
+//! is rejected by [`crate::encode::decode`].
+//!
+//! This module is the single source of truth the workload corpus and the
+//! differential fuzzer build on:
+//!
+//! - [`opcode_index`] maps an executed instruction back to the table slot
+//!   its canonical encoding occupies ([`opcode_index_sized`] honours
+//!   widened `encode_sized` forms), which is what the ISS opcode-coverage
+//!   counters record;
+//! - [`sample_instr`] yields one representative instruction per slot, so
+//!   tests can prove *every* encodable form is assemblable and coverage
+//!   chasing can inject exactly the encodings a fuzz session has not yet
+//!   executed.
+
+use crate::encode::{encode, encode_sized};
+use crate::isa::{AReg, BranchCond, DReg, Instr, MemWidth};
+
+/// Size of the shared 7-bit opcode index space (both formats).
+pub const OPCODE_SPACE: usize = 128;
+
+/// Assigned opcode indices with a stable mnemonic label.
+///
+/// 16-bit (short) forms carry a `.s` suffix to keep them distinct from
+/// the 32-bit spelling of the same operation. `ld.w.pi`/`st.w.pi` are the
+/// post-increment forms. Index 68 (`ret` in the 32-bit format) decodes
+/// but is never emitted by the canonical encoder — `ret` always
+/// compresses to the short form — so it is the one assigned slot without
+/// a [`sample_instr`].
+pub const ASSIGNED: &[(u8, &str)] = &[
+    (0, "nop.s"),
+    (1, "mov.s"),
+    (2, "add.s"),
+    (3, "sub.s"),
+    (4, "and.s"),
+    (5, "or.s"),
+    (6, "mov.aa.s"),
+    (7, "mov.a.s"),
+    (8, "mov.d.s"),
+    (9, "ld.w.s"),
+    (10, "st.w.s"),
+    (11, "addi.s"),
+    (12, "ret.s"),
+    (13, "debug.s"),
+    (16, "movi"),
+    (17, "movh"),
+    (18, "movu"),
+    (19, "movh.a"),
+    (20, "lea"),
+    (21, "add"),
+    (22, "sub"),
+    (23, "and"),
+    (24, "or"),
+    (25, "xor"),
+    (26, "min"),
+    (27, "max"),
+    (28, "mul"),
+    (29, "mac"),
+    (30, "div"),
+    (31, "rem"),
+    (32, "sh"),
+    (33, "sha"),
+    (34, "shi"),
+    (35, "addi"),
+    (36, "andi"),
+    (37, "ori"),
+    (38, "xori"),
+    (39, "clz"),
+    (40, "sext.b"),
+    (41, "sext.h"),
+    (42, "zext.b"),
+    (43, "zext.h"),
+    (44, "extr"),
+    (45, "insert"),
+    (46, "lt"),
+    (47, "ltu"),
+    (48, "eq"),
+    (49, "ne"),
+    (50, "sel"),
+    (51, "ld.w"),
+    (52, "ld.h"),
+    (53, "ld.hu"),
+    (54, "ld.b"),
+    (55, "ld.bu"),
+    (56, "st.w"),
+    (57, "st.h"),
+    (58, "st.b"),
+    (59, "ld.a"),
+    (60, "st.a"),
+    (61, "ld.w.pi"),
+    (62, "st.w.pi"),
+    (63, "j"),
+    (64, "jl"),
+    (65, "call"),
+    (66, "ji"),
+    (67, "calli"),
+    (68, "ret"),
+    (69, "jeq"),
+    (70, "jne"),
+    (71, "jlt"),
+    (72, "jge"),
+    (73, "jltu"),
+    (74, "jgeu"),
+    (75, "jz"),
+    (76, "jnz"),
+    (77, "loop"),
+    (78, "rfe"),
+    (79, "syscall"),
+    (80, "enable"),
+    (81, "disable"),
+    (82, "mfcr"),
+    (83, "mtcr"),
+    (84, "debug"),
+    (85, "wait"),
+    (86, "halt"),
+    (87, "addia"),
+    (88, "oril"),
+];
+
+/// The opcode index of an instruction's canonical encoding.
+///
+/// Both formats keep the opcode in bits 7..1 of the first halfword, so
+/// this is format-independent.
+#[must_use]
+pub fn opcode_index(instr: &Instr) -> u8 {
+    let e = encode(instr);
+    (u16::from_le_bytes([e.bytes[0], e.bytes[1]]) >> 1) as u8 & 0x7F
+}
+
+/// The opcode index of an instruction as encoded at a specific length.
+///
+/// The assembler reserves sizes syntactically and widens compressible
+/// instructions with [`encode_sized`] when an expression turns out to fit
+/// the short form; an executed instruction's coverage must attribute to
+/// the format that was actually fetched, so pass the fetched length here.
+#[must_use]
+pub fn opcode_index_sized(instr: &Instr, len: u8) -> u8 {
+    let e = encode(instr);
+    let e = if e.len == len {
+        e
+    } else {
+        encode_sized(instr, len)
+    };
+    (u16::from_le_bytes([e.bytes[0], e.bytes[1]]) >> 1) as u8 & 0x7F
+}
+
+/// The stable label of an assigned opcode index, if any.
+#[must_use]
+pub fn opcode_name(index: u8) -> Option<&'static str> {
+    ASSIGNED
+        .iter()
+        .find(|(i, _)| *i == index)
+        .map(|(_, name)| *name)
+}
+
+/// The opcode index labelled `name`, if any (inverse of [`opcode_name`]).
+#[must_use]
+pub fn opcode_by_name(name: &str) -> Option<u8> {
+    ASSIGNED.iter().find(|(_, n)| *n == name).map(|(i, _)| *i)
+}
+
+/// One representative instruction whose canonical encoding occupies the
+/// given opcode slot.
+///
+/// Returns `None` for unassigned slots and for index 68 (the 32-bit `ret`
+/// alias the canonical encoder never emits). Every `Some` sample is
+/// pinned by this module's tests to encode to exactly its slot and to
+/// round-trip through the decoder.
+#[must_use]
+#[allow(clippy::too_many_lines)] // reason: one arm per assigned opcode, a table in code form
+pub fn sample_instr(index: u8) -> Option<Instr> {
+    use Instr::*;
+    let d = DReg;
+    let a = AReg;
+    let i = match index {
+        0 => Nop,
+        1 => MovD { rd: d(1), rs: d(2) },
+        2 => Add {
+            rd: d(1),
+            ra: d(1),
+            rb: d(2),
+        },
+        3 => Sub {
+            rd: d(1),
+            ra: d(1),
+            rb: d(2),
+        },
+        4 => And {
+            rd: d(1),
+            ra: d(1),
+            rb: d(2),
+        },
+        5 => Or {
+            rd: d(1),
+            ra: d(1),
+            rb: d(2),
+        },
+        6 => MovAA {
+            ad: a(4),
+            a_src: a(5),
+        },
+        7 => MovDtoA { ad: a(4), rs: d(1) },
+        8 => MovAtoD {
+            rd: d(1),
+            a_src: a(4),
+        },
+        9 => Ld {
+            rd: d(1),
+            ab: a(4),
+            off: 0,
+            width: MemWidth::Word,
+            sign: false,
+        },
+        10 => St {
+            rs: d(1),
+            ab: a(4),
+            off: 0,
+            width: MemWidth::Word,
+        },
+        11 => AddI {
+            rd: d(1),
+            ra: d(1),
+            imm: 3,
+        },
+        12 => Ret,
+        13 => Debug { code: 1 },
+        16 => MovI { rd: d(1), imm: -77 },
+        17 => MovH {
+            rd: d(1),
+            imm: 0xD000,
+        },
+        18 => MovU {
+            rd: d(1),
+            imm: 0xFFFF,
+        },
+        19 => MovHA {
+            ad: a(4),
+            imm: 0xD000,
+        },
+        20 => Lea {
+            ad: a(4),
+            ab: a(5),
+            off: 8,
+        },
+        21 => Add {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        22 => Sub {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        23 => And {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        24 => Or {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        25 => Xor {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        26 => Min {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        27 => Max {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        28 => Mul {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        29 => Mac {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        30 => Div {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        31 => Rem {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        32 => Sh {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        33 => Sha {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        34 => ShI {
+            rd: d(1),
+            ra: d(2),
+            amount: -5,
+        },
+        35 => AddI {
+            rd: d(1),
+            ra: d(2),
+            imm: 100,
+        },
+        36 => AndI {
+            rd: d(1),
+            ra: d(2),
+            imm: 0xFF,
+        },
+        37 => OrI {
+            rd: d(1),
+            ra: d(2),
+            imm: 0xFF,
+        },
+        38 => XorI {
+            rd: d(1),
+            ra: d(2),
+            imm: 0xFF,
+        },
+        39 => Clz { rd: d(1), ra: d(2) },
+        40 => SextB { rd: d(1), ra: d(2) },
+        41 => SextH { rd: d(1), ra: d(2) },
+        42 => ZextB { rd: d(1), ra: d(2) },
+        43 => ZextH { rd: d(1), ra: d(2) },
+        44 => Extr {
+            rd: d(1),
+            ra: d(2),
+            pos: 4,
+            width: 8,
+        },
+        45 => Insert {
+            rd: d(1),
+            rs: d(2),
+            pos: 4,
+            width: 8,
+        },
+        46 => Lt {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        47 => LtU {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        48 => EqR {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        49 => NeR {
+            rd: d(1),
+            ra: d(2),
+            rb: d(3),
+        },
+        50 => Sel {
+            rd: d(1),
+            cond: d(2),
+            rs: d(3),
+        },
+        51 => Ld {
+            rd: d(1),
+            ab: a(4),
+            off: 8,
+            width: MemWidth::Word,
+            sign: false,
+        },
+        52 => Ld {
+            rd: d(1),
+            ab: a(4),
+            off: 8,
+            width: MemWidth::Half,
+            sign: true,
+        },
+        53 => Ld {
+            rd: d(1),
+            ab: a(4),
+            off: 8,
+            width: MemWidth::Half,
+            sign: false,
+        },
+        54 => Ld {
+            rd: d(1),
+            ab: a(4),
+            off: 8,
+            width: MemWidth::Byte,
+            sign: true,
+        },
+        55 => Ld {
+            rd: d(1),
+            ab: a(4),
+            off: 8,
+            width: MemWidth::Byte,
+            sign: false,
+        },
+        56 => St {
+            rs: d(1),
+            ab: a(4),
+            off: 8,
+            width: MemWidth::Word,
+        },
+        57 => St {
+            rs: d(1),
+            ab: a(4),
+            off: 8,
+            width: MemWidth::Half,
+        },
+        58 => St {
+            rs: d(1),
+            ab: a(4),
+            off: 8,
+            width: MemWidth::Byte,
+        },
+        59 => LdA {
+            ad: a(4),
+            ab: a(5),
+            off: 8,
+        },
+        60 => StA {
+            a_src: a(4),
+            ab: a(5),
+            off: 8,
+        },
+        61 => LdWPostInc {
+            rd: d(1),
+            ab: a(4),
+            inc: 4,
+        },
+        62 => StWPostInc {
+            rs: d(1),
+            ab: a(4),
+            inc: 4,
+        },
+        63 => J { off: 2 },
+        64 => Jl { off: 2 },
+        65 => Call { off: 2 },
+        66 => Ji { aa: a(4) },
+        67 => CallI { aa: a(4) },
+        69 => JCond {
+            cond: BranchCond::Eq,
+            ra: d(1),
+            rb: d(2),
+            off: 2,
+        },
+        70 => JCond {
+            cond: BranchCond::Ne,
+            ra: d(1),
+            rb: d(2),
+            off: 2,
+        },
+        71 => JCond {
+            cond: BranchCond::Lt,
+            ra: d(1),
+            rb: d(2),
+            off: 2,
+        },
+        72 => JCond {
+            cond: BranchCond::Ge,
+            ra: d(1),
+            rb: d(2),
+            off: 2,
+        },
+        73 => JCond {
+            cond: BranchCond::LtU,
+            ra: d(1),
+            rb: d(2),
+            off: 2,
+        },
+        74 => JCond {
+            cond: BranchCond::GeU,
+            ra: d(1),
+            rb: d(2),
+            off: 2,
+        },
+        75 => Jz { ra: d(1), off: 2 },
+        76 => Jnz { ra: d(1), off: 2 },
+        77 => Loop { aa: a(5), off: -2 },
+        78 => Rfe,
+        79 => Syscall { num: 7 },
+        80 => Enable,
+        81 => Disable,
+        82 => Mfcr { rd: d(1), csfr: 0 },
+        83 => Mtcr { csfr: 7, rs: d(1) },
+        84 => Debug { code: 200 },
+        85 => Wait,
+        86 => Halt,
+        87 => AddIA { ad: a(4), imm: -8 },
+        88 => OrIL {
+            rd: d(1),
+            imm: 0xBEEF,
+        },
+        _ => return None,
+    };
+    Some(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode;
+    use audo_common::Addr;
+
+    #[test]
+    fn assigned_table_is_sorted_and_unique() {
+        for pair in ASSIGNED.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "table out of order at {pair:?}");
+        }
+        assert_eq!(ASSIGNED.len(), 87);
+    }
+
+    #[test]
+    fn every_sample_encodes_to_its_slot_and_round_trips() {
+        for &(idx, name) in ASSIGNED {
+            let Some(sample) = sample_instr(idx) else {
+                assert_eq!(idx, 68, "only the 32-bit ret alias may lack a sample");
+                continue;
+            };
+            assert_eq!(
+                opcode_index(&sample),
+                idx,
+                "sample for `{name}` encodes to the wrong slot"
+            );
+            let e = encode(&sample);
+            let (back, len) = decode(e.as_bytes(), Addr(0)).expect("sample decodes");
+            assert_eq!(back, sample, "`{name}` sample round-trip");
+            assert_eq!(len, e.len);
+        }
+    }
+
+    #[test]
+    fn unassigned_slots_are_rejected_in_both_formats() {
+        let assigned: Vec<u8> = ASSIGNED.iter().map(|&(i, _)| i).collect();
+        for idx in 0..OPCODE_SPACE as u8 {
+            if assigned.contains(&idx) {
+                continue;
+            }
+            let h: u16 = u16::from(idx) << 1;
+            assert!(
+                decode(&h.to_le_bytes(), Addr(0)).is_err(),
+                "16-bit op {idx} should be rejected"
+            );
+            let w: u32 = 1 | (u32::from(idx) << 1);
+            assert!(
+                decode(&w.to_le_bytes(), Addr(0)).is_err(),
+                "32-bit op {idx} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn sized_index_attributes_widened_forms_to_the_wide_slot() {
+        let short = Instr::Add {
+            rd: DReg(1),
+            ra: DReg(1),
+            rb: DReg(2),
+        };
+        assert_eq!(opcode_index(&short), 2);
+        assert_eq!(opcode_index_sized(&short, 2), 2);
+        assert_eq!(opcode_index_sized(&short, 4), 21);
+        let wide = Instr::Mul {
+            rd: DReg(1),
+            ra: DReg(2),
+            rb: DReg(3),
+        };
+        assert_eq!(opcode_index_sized(&wide, 4), 28);
+    }
+
+    #[test]
+    fn names_and_indices_are_inverse() {
+        for &(idx, name) in ASSIGNED {
+            assert_eq!(opcode_name(idx), Some(name));
+            assert_eq!(opcode_by_name(name), Some(idx));
+        }
+        assert_eq!(opcode_name(14), None);
+        assert_eq!(opcode_by_name("bogus"), None);
+    }
+}

@@ -37,4 +37,12 @@ echo "==> BENCH_fleet.json (fleet calibration sessions/sec)"
 cargo run --release -q -p audo-bench --bin fleet -- \
     --sessions 1000 --seed 0xA0D0 --json --bench-json BENCH_fleet.json >/dev/null
 
+echo "==> BENCH_fuzz.json (differential fuzz programs/sec)"
+# 1000 generated programs plus the corpus, each through up to four tier
+# configurations and the MCDS encode/decode check; the deterministic
+# report goes to /dev/null. A divergence exits non-zero and stops the
+# script — the perf artifact doubles as a long clean-run gate.
+cargo run --release -q -p audo-bench --bin fuzz -- \
+    --seed 0xBE9C --iterations 1000 --bench-json BENCH_fuzz.json >/dev/null
+
 echo "bench artifacts written."

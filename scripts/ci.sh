@@ -149,11 +149,36 @@ grep -q '"seed":"0x' "$fl_dir/planted.json"
 rm -rf "$fl_dir"
 echo "fleet gate passed"
 
+echo "==> fuzz gate: clean differential session, --jobs byte-identical, injected fault pinned"
+# The differential fuzzer's report is a pure function of --seed and
+# --iterations: the worker count must not leak one byte into stdout, a
+# healthy tree must come back CLEAN over the corpus plus generated
+# programs, and an injected tier fault must exit 2 with a minimized
+# literate reproducer pinned (tests/fuzz_determinism.rs pins the same
+# contract at the library level).
+fz_dir="$(mktemp -d)"
+./target/release/fuzz --seed 0xF00D --iterations 64 --round 32 --jobs 2 >"$fz_dir/j2.txt"
+./target/release/fuzz --seed 0xF00D --iterations 64 --round 32 --jobs 1 >"$fz_dir/j1.txt"
+cmp "$fz_dir/j1.txt" "$fz_dir/j2.txt"
+grep -q 'result: CLEAN' "$fz_dir/j1.txt"
+fz_status=0
+./target/release/fuzz --seed 0xF00D --iterations 24 --round 8 \
+    --inject-fault mul --pin-dir "$fz_dir/pins" >"$fz_dir/fault.txt" || fz_status=$?
+if [ "$fz_status" -ne 2 ]; then
+    echo "injected fault: expected exit 2 (divergence), got $fz_status" >&2
+    exit 1
+fi
+grep -q 'result: DIVERGED' "$fz_dir/fault.txt"
+grep -q 'mul' "$fz_dir"/pins/*.md
+rm -rf "$fz_dir"
+echo "fuzz gate passed"
+
 echo "==> missing-docs gate: operator-surface crates deny undocumented items"
 # The documented operator surface (observability, static analysis, fleet
 # service) must carry #![warn(missing_docs)]; the rustdoc gate below turns
 # those warnings into errors.
-for f in crates/common crates/mcds crates/obs crates/analyze crates/fleet; do
+for f in crates/common crates/mcds crates/obs crates/analyze crates/fleet \
+         crates/asm crates/fuzz; do
     if ! grep -q '^#!\[warn(missing_docs)\]' "$f/src/lib.rs"; then
         echo "missing #![warn(missing_docs)]: $f/src/lib.rs" >&2
         exit 1

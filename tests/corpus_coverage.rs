@@ -1,0 +1,56 @@
+//! Decoder-coverage report over the checked-in workload corpus.
+//!
+//! Runs every literate corpus program through the differential tier
+//! checker ([`audo_fuzz::check_image`]) and asserts:
+//!
+//! 1. no corpus program diverges between tiers or hits a guest fault —
+//!    the checked-in corpus is the always-green baseline the fuzzer
+//!    mutates from, so a red program here means a tier bug (or a broken
+//!    corpus edit), and
+//! 2. the union of golden-model opcode coverage stays at or above the
+//!    pinned floor, printing the uncovered mnemonics so a regression is
+//!    actionable from the test log alone.
+
+use audo_asm::{default_corpus_dir, load_corpus};
+use audo_fuzz::{check_image, coverage_summary, CheckOptions};
+use audo_tricore::opcodes::OPCODE_SPACE;
+
+/// Opcode slots the corpus must exercise, out of the 87 assigned ones.
+/// 86 is every slot the assembler can emit: the 32-bit `ret` encoding
+/// (slot 68) decodes but is never produced by canonical assembly, so it
+/// is unreachable from any corpus program by construction.
+const COVERAGE_FLOOR: usize = 86;
+
+#[test]
+fn corpus_covers_the_decoder_and_stays_divergence_free() {
+    let entries = load_corpus(&default_corpus_dir()).expect("corpus loads");
+    assert!(entries.len() >= 10, "corpus shrank: {}", entries.len());
+
+    let mut union = [0u64; OPCODE_SPACE];
+    for e in &entries {
+        let rep = check_image(&e.image, e.program.tiers, &CheckOptions::default());
+        assert!(
+            rep.divergence.is_none(),
+            "{} diverged: {}",
+            e.file_name,
+            rep.divergence.unwrap()
+        );
+        assert!(!rep.errored, "{} hit a guest fault", e.file_name);
+        assert!(rep.retired > 0, "{} retired nothing", e.file_name);
+        for (slot, count) in union.iter_mut().zip(rep.coverage.iter()) {
+            *slot += count;
+        }
+    }
+
+    let (covered, sampleable, uncovered) = coverage_summary(&union);
+    eprintln!("corpus decoder coverage: {covered}/{sampleable} opcode slots");
+    if !uncovered.is_empty() {
+        eprintln!("uncovered: {}", uncovered.join(", "));
+    }
+    assert!(
+        covered >= COVERAGE_FLOOR,
+        "corpus decoder coverage regressed: {covered} < floor {COVERAGE_FLOOR} \
+         (uncovered: {})",
+        uncovered.join(", ")
+    );
+}

@@ -135,6 +135,33 @@ fn pinned_random_mix_seeds_agree_across_all_tiers() {
     }
 }
 
+/// Every literate corpus program through the fuzzer's differential
+/// checker: functional ISS vs. fast path vs. both pipeline
+/// configurations, plus the encoder/disassembler round-trip and MCDS
+/// byte identity. Programs that rewrite their own code carry a
+/// `tiers = iss` directive and are checked on the ISS tiers only —
+/// the same exclusion as the hand-written sweeps above, but expressed
+/// in the workload file instead of the test.
+#[test]
+fn literate_corpus_agrees_across_its_pinned_tiers() {
+    let entries = audo_asm::load_corpus(&audo_asm::default_corpus_dir()).expect("corpus loads");
+    assert!(entries.len() >= 10, "corpus shrank: {}", entries.len());
+    for e in &entries {
+        let rep = audo_fuzz::check_image(
+            &e.image,
+            e.program.tiers,
+            &audo_fuzz::CheckOptions::default(),
+        );
+        assert!(
+            rep.divergence.is_none(),
+            "{}: {}",
+            e.file_name,
+            rep.divergence.unwrap()
+        );
+        assert!(!rep.errored, "{}: agreed guest fault", e.file_name);
+    }
+}
+
 /// All stock SoC workload variants, pipeline cached vs. uncached on the
 /// full platform: cycles, retired instructions, register file and the
 /// rendered metrics snapshot (modulo the predecode cache's own counters)

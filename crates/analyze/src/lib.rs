@@ -22,6 +22,7 @@ pub mod constprop;
 pub mod findings;
 pub mod hazard;
 pub mod predict;
+pub mod symbols;
 
 use audo_common::Addr;
 use audo_platform::config::{Region, SocConfig};

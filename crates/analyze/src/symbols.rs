@@ -1,0 +1,134 @@
+//! Profile symbolization from the recovered CFG.
+//!
+//! The sampling profiler (`audo_obs::profile`) needs two static inputs it
+//! cannot derive itself: an address→name [`SymbolMap`] and a name-level
+//! [`CallGraph`] for folded-stack synthesis. Both fall out of a recovered
+//! [`Cfg`]: function entries are the CFG roots (which keep their
+//! `entry`/`vector_pN` labels) plus every call-edge target (named
+//! `fn_<addr>`), and call edges between blocks become call edges between
+//! the functions that contain them. The platform memory map supplies
+//! named fallback ranges, so code the CFG never reached still symbolizes
+//! to its region (`pflash`, `pspr`, ...).
+
+use std::collections::BTreeSet;
+
+use audo_obs::profile::{CallGraph, SymbolMap};
+use audo_platform::config::{
+    SocConfig, DFLASH_BASE, DSPR_BASE, EMEM_BASE, PFLASH_BASE, PSPR_BASE, SRAM_BASE,
+};
+
+use crate::cfg::{Cfg, EdgeKind};
+
+/// Synthetic name for a call target without a root label.
+#[must_use]
+pub fn function_name(addr: u32) -> String {
+    format!("fn_{addr:08x}")
+}
+
+/// Builds the address→name map for `cfg`'s code over `soc`'s memory map.
+///
+/// Roots are registered first so a vector slot that is also a call target
+/// keeps its `vector_pN` label; call targets get [`function_name`] names;
+/// the configured memories become fallback ranges.
+#[must_use]
+pub fn symbol_map(cfg: &Cfg, soc: &SocConfig) -> SymbolMap {
+    let mut map = SymbolMap::new();
+    // reason: ByteSize::bytes is a u64 API over u32-sized memories.
+    #[allow(clippy::cast_possible_truncation)]
+    for (base, len, name) in [
+        (PFLASH_BASE.0, soc.pflash_size.bytes() as u32, "pflash"),
+        (DFLASH_BASE.0, soc.dflash_size.bytes() as u32, "dflash"),
+        (SRAM_BASE.0, soc.sram_size.bytes() as u32, "sram"),
+        (PSPR_BASE.0, soc.pspr_size.bytes() as u32, "pspr"),
+        (DSPR_BASE.0, soc.dspr_size.bytes() as u32, "dspr"),
+        (EMEM_BASE.0, soc.emem_size.bytes() as u32, "emem"),
+    ] {
+        map.add_region(base, len, name);
+    }
+    for (addr, label) in &cfg.roots {
+        map.add_func(*addr, label.clone());
+    }
+    for target in call_targets(cfg) {
+        map.add_func(target, function_name(target));
+    }
+    map
+}
+
+/// Builds the function-level call graph for folded-stack synthesis: CFG
+/// roots (in discovery order) become stack roots, and every call edge
+/// from a block inside function `f` to a target named `g` becomes an
+/// `f → g` call.
+#[must_use]
+pub fn call_graph(cfg: &Cfg, symbols: &SymbolMap) -> CallGraph {
+    let mut graph = CallGraph::new();
+    for (_, label) in &cfg.roots {
+        graph.add_root(label.clone());
+    }
+    for block in cfg.blocks.values() {
+        let caller = symbols.resolve(block.start).to_string();
+        for edge in &block.edges {
+            if edge.kind == EdgeKind::CallTarget {
+                graph.add_call(caller.clone(), symbols.resolve(edge.to).to_string());
+            }
+        }
+    }
+    graph
+}
+
+fn call_targets(cfg: &Cfg) -> BTreeSet<u32> {
+    cfg.blocks
+        .values()
+        .flat_map(|b| b.edges.iter())
+        .filter(|e| e.kind == EdgeKind::CallTarget)
+        .map(|e| e.to)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg;
+    use audo_tricore::asm::assemble;
+
+    #[test]
+    fn roots_and_call_targets_are_symbolized() {
+        let image = assemble(
+            "
+            .org 0x80000000
+        _start:
+            la   sp, 0xD0004000
+            movi d4, 21
+            call work
+            halt
+        work:
+            add  d4, d4, d4
+            ret
+        ",
+        )
+        .expect("assembles");
+        let graph = cfg::recover(&image);
+        let soc = SocConfig::tc1797();
+        let symbols = symbol_map(&graph, &soc);
+        assert_eq!(symbols.resolve(0x8000_0000), "entry");
+        // The call target gets a synthetic fn_ name; addresses inside it
+        // resolve to the same function.
+        let work = graph
+            .blocks
+            .values()
+            .flat_map(|b| b.edges.iter())
+            .find(|e| e.kind == EdgeKind::CallTarget)
+            .map(|e| e.to)
+            .expect("call edge recovered");
+        assert_eq!(symbols.resolve(work), function_name(work));
+        assert_eq!(symbols.resolve(work + 2), function_name(work));
+        // Data scratchpad addresses fall back to the region name.
+        assert_eq!(symbols.resolve(0xD000_0100), "dspr");
+
+        let calls = call_graph(&graph, &symbols);
+        let paths = calls.stack_paths();
+        assert_eq!(
+            paths[&function_name(work)],
+            vec!["entry".to_string(), function_name(work)]
+        );
+    }
+}

@@ -23,6 +23,9 @@
 //!   --json              print the JSON report instead of the text one
 //!   --bench-json PATH   write wall-clock throughput (programs/sec) as a
 //!                       BENCH_fuzz.json perf artifact
+//!   --metrics-out PATH  export the session's coverage counters (decoder
+//!                       slots hit, stall causes observed) in the audo-obs
+//!                       text exposition format
 //! ```
 //!
 //! stdout carries only the deterministic report — byte-identical for any
@@ -42,6 +45,7 @@ struct Args {
     jobs: usize,
     json: bool,
     bench_json: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: default_jobs(),
         json: false,
         bench_json: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -88,11 +93,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "--bench-json" => args.bench_json = Some(value()?),
+            "--metrics-out" => args.metrics_out = Some(value()?),
             "--help" | "-h" => {
                 println!(
                     "usage: fuzz [--seed S] [--iterations N] [--jobs N] [--round N] \
                      [--max-instrs N] [--corpus DIR | --no-corpus] [--pin-dir DIR] \
-                     [--inject-fault MNEMONIC] [--json] [--bench-json PATH]"
+                     [--inject-fault MNEMONIC] [--json] [--bench-json PATH] \
+                     [--metrics-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -160,6 +167,14 @@ fn run() -> Result<i32, String> {
         print!("{}", report_json(&report));
     } else {
         print!("{}", report.render());
+    }
+
+    if let Some(path) = &args.metrics_out {
+        let mut reg = audo_obs::Registry::new();
+        report.export_obs(&mut reg);
+        let body = audo_obs::metrics_text::render(&reg, "audo_");
+        std::fs::write(path, body).map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote {path}");
     }
 
     // Wall-clock channel: stderr + perf artifact only, never stdout.

@@ -6,10 +6,26 @@
 //! locally; the report fold merges the shard aggregates in shard order,
 //! which is associative bucket arithmetic — the reason the final report
 //! is byte-identical at any `--jobs`.
+//!
+//! The hot-block aggregate is the one bounded (top-K) fold: each session
+//! contributes its hottest blocks, the cohort keeps at most
+//! [`HOT_BLOCK_CAP`] entries, and over-cap entries are evicted smallest
+//! weight first with a key-order tiebreak. Eviction is not associative
+//! in general, but the shard decomposition is fixed by `shard_size`
+//! (never by the worker count) and shards are folded in shard order, so
+//! the surviving set is still byte-identical at any `--jobs`. Within a
+//! cohort every healthy session replays the same image, so in practice
+//! the fold sums identical block sets and stays exact.
 
+use std::collections::BTreeMap;
+
+use audo_obs::profile::{BlockCounts, BlockKey};
 use audo_obs::Histogram;
 
 use crate::session::SessionSample;
+
+/// Most hot blocks a cohort aggregate retains ([`CohortAggregate::hot_blocks`]).
+pub const HOT_BLOCK_CAP: usize = 16;
 
 /// Rate statistics of one cohort, folded over all its sessions.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +55,9 @@ pub struct CohortAggregate {
     pub dap_transaction_cycles: Histogram,
     /// MCDS encoded message sizes (bytes), merged from every session.
     pub mcds_message_bytes: Histogram,
+    /// Fleet-wide hottest blocks of this cohort: per-session top blocks
+    /// summed, capped at [`HOT_BLOCK_CAP`] with deterministic eviction.
+    pub hot_blocks: BTreeMap<BlockKey, BlockCounts>,
 }
 
 impl CohortAggregate {
@@ -58,6 +77,10 @@ impl CohortAggregate {
         self.session_cycles.record(s.cycles);
         self.dap_transaction_cycles.merge(&s.dap_transaction_cycles);
         self.mcds_message_bytes.merge(&s.mcds_message_bytes);
+        for (key, counts) in &s.hot_blocks {
+            self.hot_blocks.entry(*key).or_default().merge(counts);
+        }
+        self.evict_hot_blocks();
     }
 
     /// Folds another aggregate (a shard's view of the same cohort) in.
@@ -75,6 +98,35 @@ impl CohortAggregate {
         self.dap_transaction_cycles
             .merge(&other.dap_transaction_cycles);
         self.mcds_message_bytes.merge(&other.mcds_message_bytes);
+        for (key, counts) in &other.hot_blocks {
+            self.hot_blocks.entry(*key).or_default().merge(counts);
+        }
+        self.evict_hot_blocks();
+    }
+
+    /// Trims the hot-block set to [`HOT_BLOCK_CAP`]: the entry with the
+    /// smallest [`BlockCounts::weight`] goes first, ties broken toward
+    /// the smaller key — a pure function of the map contents.
+    fn evict_hot_blocks(&mut self) {
+        while self.hot_blocks.len() > HOT_BLOCK_CAP {
+            let victim = self
+                .hot_blocks
+                .iter()
+                .min_by_key(|(key, c)| (c.weight(), **key))
+                .map(|(key, _)| *key)
+                .expect("map is over cap, therefore non-empty");
+            self.hot_blocks.remove(&victim);
+        }
+    }
+
+    /// The `n` hottest blocks, descending by weight with a key tiebreak
+    /// (the same ordering every profile renderer uses).
+    #[must_use]
+    pub fn top_hot_blocks(&self, n: usize) -> Vec<(&BlockKey, &BlockCounts)> {
+        let mut rows: Vec<(&BlockKey, &BlockCounts)> = self.hot_blocks.iter().collect();
+        rows.sort_by(|a, b| b.1.weight().cmp(&a.1.weight()).then(a.0.cmp(b.0)));
+        rows.truncate(n);
+        rows
     }
 
     /// Mean IPC over the cohort (total instructions / total cycles).
@@ -97,6 +149,23 @@ mod tests {
     use super::*;
     use crate::session::SessionSample;
 
+    fn block(offset: u32, cycles: u64) -> (BlockKey, BlockCounts) {
+        (
+            BlockKey {
+                region: 0x8000_0000,
+                offset,
+                generation: 1,
+            },
+            BlockCounts {
+                executions: cycles / 10,
+                instructions: cycles / 2,
+                span: 8,
+                retire_cycles: cycles,
+                stall_cycles: [0; audo_common::events::StallReason::COUNT],
+            },
+        )
+    }
+
     fn sample(cycles: u64, vetoed: bool) -> SessionSample {
         let mut dap = Histogram::default();
         dap.record(cycles / 100);
@@ -112,6 +181,9 @@ mod tests {
             mcds_message_bytes: Histogram::default(),
             vetoed,
             veto_rows: Vec::new(),
+            // Every cohort session replays the same image, so samples
+            // share block identities — the production shape.
+            hot_blocks: vec![block(0x24, cycles), block(0x80, cycles / 4)],
         }
     }
 
@@ -138,7 +210,29 @@ mod tests {
         assert_eq!(a.cycles, serial.cycles);
         assert_eq!(a.session_cycles, serial.session_cycles);
         assert_eq!(a.dap_transaction_cycles, serial.dap_transaction_cycles);
+        assert_eq!(a.hot_blocks, serial.hot_blocks);
         assert!((a.ipc() - serial.ipc()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_block_cap_evicts_smallest_weight_first() {
+        let mut agg = CohortAggregate::default();
+        let mut s = sample(1_000, false);
+        // HOT_BLOCK_CAP + 4 distinct blocks with strictly rising weight:
+        // the four lightest must be the ones evicted.
+        s.hot_blocks = (0..HOT_BLOCK_CAP as u32 + 4)
+            .map(|i| block(i * 0x10, u64::from(i + 1) * 100))
+            .collect();
+        agg.fold_session(&s);
+        assert_eq!(agg.hot_blocks.len(), HOT_BLOCK_CAP);
+        for i in 0..4u32 {
+            let (light, _) = block(i * 0x10, 0);
+            assert!(!agg.hot_blocks.contains_key(&light), "offset {i} survived");
+        }
+        // The top listing ranks by weight, descending.
+        let top = agg.top_hot_blocks(3);
+        assert_eq!(top[0].0.offset, (HOT_BLOCK_CAP as u32 + 3) * 0x10);
+        assert!(top[0].1.weight() > top[2].1.weight());
     }
 
     #[test]

@@ -8,9 +8,32 @@
 
 use std::fmt::Write as _;
 
+use audo_common::events::StallReason;
+use audo_obs::profile::{BlockCounts, BlockKey};
 use audo_obs::Histogram;
 
 use crate::{FleetReport, VetoRecord};
+
+/// Hot-block rows each renderer shows per cohort (the aggregate itself
+/// tracks up to [`crate::aggregate::HOT_BLOCK_CAP`]).
+const HOT_BLOCK_ROWS: usize = 4;
+
+fn dominant_stall_key(c: &BlockCounts) -> &'static str {
+    c.dominant_stall().map_or("-", StallReason::key)
+}
+
+fn json_hot_block(key: &BlockKey, c: &BlockCounts) -> String {
+    format!(
+        "{{\"addr\":\"{:#010x}\",\"generation\":{},\"executions\":{},\
+         \"instructions\":{},\"cycles\":{},\"dominant_stall\":\"{}\"}}",
+        key.addr(),
+        key.generation,
+        c.executions,
+        c.instructions,
+        c.cycles(),
+        dominant_stall_key(c)
+    )
+}
 
 /// Renders an `f64` as a JSON value (`null` for non-finite values, which
 /// JSON cannot carry).
@@ -85,7 +108,8 @@ pub fn render_json(r: &FleetReport) -> String {
              \"cycles\":{},\"instructions\":{},\"ipc\":{},\
              \"trace_produced\":{},\"trace_lost\":{},\
              \"link_retries\":{},\"link_timeouts\":{},\"link_truncated\":{},\
-             \"session_cycles\":{},\"dap_transaction_cycles\":{},\"mcds_message_bytes\":{}}}",
+             \"session_cycles\":{},\"dap_transaction_cycles\":{},\"mcds_message_bytes\":{},\
+             \"hot_blocks\":[{}]}}",
             spec.name,
             spec.config,
             agg.sessions,
@@ -100,7 +124,12 @@ pub fn render_json(r: &FleetReport) -> String {
             agg.link_truncated,
             json_hist(&agg.session_cycles),
             json_hist(&agg.dap_transaction_cycles),
-            json_hist(&agg.mcds_message_bytes)
+            json_hist(&agg.mcds_message_bytes),
+            agg.top_hot_blocks(HOT_BLOCK_ROWS)
+                .iter()
+                .map(|(k, c)| json_hot_block(k, c))
+                .collect::<Vec<String>>()
+                .join(",")
         );
         s.push_str(if i + 1 < r.cohorts.len() { ",\n" } else { "\n" });
     }
@@ -169,6 +198,29 @@ pub fn render_text(r: &FleetReport) -> String {
         );
     }
     s.push('\n');
+    let any_hot = r.cohorts.iter().any(|c| !c.hot_blocks.is_empty());
+    if any_hot {
+        let _ = writeln!(
+            s,
+            "fleet hot blocks (per cohort, top {HOT_BLOCK_ROWS} by attributed weight)"
+        );
+        for (spec, agg) in crate::cohort::COHORTS.iter().zip(&r.cohorts) {
+            for (key, c) in agg.top_hot_blocks(HOT_BLOCK_ROWS) {
+                let _ = writeln!(
+                    s,
+                    "  {:<14} {:#010x} gen {:>4}  exec {:>10} instrs {:>10} cycles {:>10}  {}",
+                    spec.name,
+                    key.addr(),
+                    key.generation,
+                    c.executions,
+                    c.instructions,
+                    c.cycles(),
+                    dominant_stall_key(c)
+                );
+            }
+        }
+        s.push('\n');
+    }
     if r.vetoes.is_empty() {
         let _ = writeln!(
             s,
@@ -215,6 +267,24 @@ mod tests {
         cohorts[0].instructions = 120_000;
         cohorts[0].session_cycles.record(100_000);
         cohorts[0].session_cycles.record(100_000);
+        cohorts[0].hot_blocks.insert(
+            BlockKey {
+                region: 0x8000_0000,
+                offset: 0x24,
+                generation: 3,
+            },
+            BlockCounts {
+                executions: 500,
+                instructions: 2_000,
+                span: 12,
+                retire_cycles: 2_000,
+                stall_cycles: {
+                    let mut s = [0; StallReason::COUNT];
+                    s[StallReason::Fetch.index()] = 900;
+                    s
+                },
+            },
+        );
         FleetReport {
             opts: FleetOptions::default(),
             planted: 1,
@@ -244,6 +314,14 @@ mod tests {
         assert!(a.contains("FLEET-FLASH-RATE"), "{a}");
         assert!(a.contains("\"cohort\":\"engine-lean\""), "{a}");
         assert!(a.contains("\"planted\": 1"), "{a}");
+        assert!(
+            a.contains(
+                "\"hot_blocks\":[{\"addr\":\"0x80000024\",\"generation\":3,\
+                 \"executions\":500,\"instructions\":2000,\"cycles\":2900,\
+                 \"dominant_stall\":\"fetch\"}]"
+            ),
+            "{a}"
+        );
     }
 
     #[test]
@@ -259,5 +337,7 @@ mod tests {
         assert!(t.contains("unit #7"), "{t}");
         assert!(t.contains("engine-lean"), "{t}");
         assert!(t.contains("FLEET-FLASH-RATE"), "{t}");
+        assert!(t.contains("fleet hot blocks"), "{t}");
+        assert!(t.contains("0x80000024 gen    3"), "{t}");
     }
 }

@@ -7,6 +7,7 @@ use audo_analyze::predict::{self, CheckRow};
 use audo_common::SimError;
 use audo_dap::FaultConfig;
 use audo_ed::{EdConfig, EmulationDevice};
+use audo_obs::profile::{BlockCounts, BlockKey};
 use audo_obs::Histogram;
 use audo_profiler::session::{profile, DrainPolicy, SessionOptions, ToolLinkOptions};
 use audo_profiler::spec::ProfileSpec;
@@ -42,6 +43,11 @@ pub struct VetoRow {
     pub hi: f64,
 }
 
+/// Hottest blocks each session contributes to its cohort's fleet-wide
+/// hot-block aggregate. Small on purpose: the fleet never retains a full
+/// per-session profile, only this bounded summary.
+pub const HOT_BLOCKS_PER_SESSION: usize = 8;
+
 /// What one session contributes to the fleet aggregates.
 #[derive(Debug, Clone)]
 pub struct SessionSample {
@@ -67,6 +73,9 @@ pub struct SessionSample {
     pub vetoed: bool,
     /// The diverged rates (empty unless vetoed).
     pub veto_rows: Vec<VetoRow>,
+    /// This session's hottest blocks (top [`HOT_BLOCKS_PER_SESSION`] by
+    /// attributed weight), in descending-weight order.
+    pub hot_blocks: Vec<(BlockKey, BlockCounts)>,
 }
 
 /// Runs session `spec` against its cohort artifacts.
@@ -94,6 +103,7 @@ pub fn run_session(
     };
     let mut ed = EmulationDevice::new(art.config.clone(), EdConfig::default());
     workload.install_ed(&mut ed)?;
+    ed.soc.tricore.set_profile_observation(true);
 
     let profile_spec = ProfileSpec::new()
         .metric(Metric::Ipc, opts.metric_window)
@@ -153,6 +163,12 @@ pub fn run_session(
     let (link_retries, link_timeouts, link_truncated) = outcome.tool.map_or((0, 0, false), |t| {
         (t.stats.retries, t.stats.timeouts, t.stats.trace_truncated)
     });
+    let hot_blocks = ed.soc.tricore.block_profile().map_or_else(Vec::new, |p| {
+        p.top_blocks(HOT_BLOCKS_PER_SESSION)
+            .into_iter()
+            .map(|(k, c)| (*k, *c))
+            .collect()
+    });
     Ok(SessionSample {
         cycles: outcome.cycles,
         instructions: outcome.obs.counter("soc.tricore.instructions_retired"),
@@ -165,5 +181,6 @@ pub fn run_session(
         mcds_message_bytes: find_hist("mcds.message_bytes"),
         vetoed: !veto_rows.is_empty(),
         veto_rows,
+        hot_blocks,
     })
 }

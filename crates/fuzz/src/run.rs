@@ -21,8 +21,9 @@
 
 use std::path::PathBuf;
 
+use audo_common::events::StallReason;
 use audo_common::SimError;
-use audo_tricore::opcodes::{sample_instr, OPCODE_SPACE};
+use audo_tricore::opcodes::{opcode_name, sample_instr, OPCODE_SPACE};
 
 use audo_asm::{load_corpus, CorpusEntry, Tiers};
 
@@ -111,6 +112,8 @@ pub struct CaseResult {
     pub retired: u64,
     /// Golden-model opcode coverage of this case.
     pub coverage: Box<[u64; OPCODE_SPACE]>,
+    /// Per-cause stall cycles the case's uncached pipeline run observed.
+    pub stall_coverage: [u64; StallReason::COUNT],
 }
 
 /// One reported divergence.
@@ -145,6 +148,10 @@ pub struct FuzzReport {
     pub retired_total: u64,
     /// Opcode-slot coverage union across the whole session.
     pub coverage: Box<[u64; OPCODE_SPACE]>,
+    /// Per-cause stall-cycle coverage summed over every uncached
+    /// pipeline run of the session — which stall causes the corpus and
+    /// the generated programs actually exercise.
+    pub stall_coverage: [u64; StallReason::COUNT],
 }
 
 impl FuzzReport {
@@ -152,6 +159,34 @@ impl FuzzReport {
     #[must_use]
     pub fn coverage_counts(&self) -> (usize, usize, Vec<&'static str>) {
         coverage_summary(&self.coverage)
+    }
+
+    /// Exports the session's coverage counters into a registry under
+    /// `fuzz.coverage.*`: per-slot retire counts (covered slots only),
+    /// the covered/sampleable totals, and per-cause stall-cycle
+    /// coverage. A pure function of the report, so the export inherits
+    /// the session's byte-identical determinism.
+    pub fn export_obs(&self, reg: &mut audo_obs::Registry) {
+        let (covered, sampleable, _) = self.coverage_counts();
+        reg.add("fuzz.coverage.opcodes_covered", covered as u64);
+        reg.add("fuzz.coverage.opcodes_sampleable", sampleable as u64);
+        for (idx, &count) in self.coverage.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            // reason: OPCODE_SPACE is 128.
+            #[allow(clippy::cast_possible_truncation)]
+            let Some(name) = opcode_name(idx as u8) else {
+                continue;
+            };
+            reg.add(&format!("fuzz.coverage.opcode.{name}"), count);
+        }
+        for reason in StallReason::ALL {
+            reg.add(
+                &format!("fuzz.coverage.stall.{}", reason.key()),
+                self.stall_coverage[reason.index()],
+            );
+        }
     }
 
     /// Deterministic text rendering: byte-identical for a given
@@ -234,17 +269,25 @@ fn run_case(opts: &FuzzOptions, corpus: &[CorpusEntry], hints: &[u8], index: u64
         max_instrs,
         fault: opts.fault,
     };
-    let (divergence, errored, retired, coverage) = match check_source(&source, tiers, &check) {
-        Ok(rep) => (rep.divergence, rep.errored, rep.retired, rep.coverage),
-        // The generator/mutator guarantees assemblability, so a parse
-        // failure here is itself a finding.
-        Err(e) => (
-            Some(format!("case program does not assemble: {e}")),
-            false,
-            0,
-            Box::new([0u64; OPCODE_SPACE]),
-        ),
-    };
+    let (divergence, errored, retired, coverage, stall_coverage) =
+        match check_source(&source, tiers, &check) {
+            Ok(rep) => (
+                rep.divergence,
+                rep.errored,
+                rep.retired,
+                rep.coverage,
+                rep.stall_coverage,
+            ),
+            // The generator/mutator guarantees assemblability, so a parse
+            // failure here is itself a finding.
+            Err(e) => (
+                Some(format!("case program does not assemble: {e}")),
+                false,
+                0,
+                Box::new([0u64; OPCODE_SPACE]),
+                [0; StallReason::COUNT],
+            ),
+        };
     CaseResult {
         index,
         kind,
@@ -255,6 +298,7 @@ fn run_case(opts: &FuzzOptions, corpus: &[CorpusEntry], hints: &[u8], index: u64
         errored,
         retired,
         coverage,
+        stall_coverage,
     }
 }
 
@@ -340,6 +384,7 @@ where
         errored: 0,
         retired_total: 0,
         coverage: Box::new([0u64; OPCODE_SPACE]),
+        stall_coverage: [0; StallReason::COUNT],
     };
 
     // Corpus baseline: every pinned program must already agree.
@@ -351,6 +396,9 @@ where
         let rep = crate::tiers::check_image(&e.image, e.program.tiers, &check);
         for i in 0..OPCODE_SPACE {
             report.coverage[i] += rep.coverage[i];
+        }
+        for i in 0..StallReason::COUNT {
+            report.stall_coverage[i] += rep.stall_coverage[i];
         }
         report.retired_total += rep.retired;
         if rep.errored {
@@ -383,6 +431,9 @@ where
         for r in results {
             for i in 0..OPCODE_SPACE {
                 report.coverage[i] += r.coverage[i];
+            }
+            for i in 0..StallReason::COUNT {
+                report.stall_coverage[i] += r.stall_coverage[i];
             }
             report.retired_total += r.retired;
             if r.errored {

@@ -24,6 +24,7 @@
 //! pipeline is skipped for such programs, mirroring how the repo treats
 //! guest faults elsewhere.
 
+use audo_common::events::StallReason;
 use audo_common::{Addr, Cycle, EventRecord, EventSink, SimError, SourceId};
 use audo_mcds::select::{EventClass, EventSelector};
 use audo_mcds::{decode_stream, Basis, Mcds, RateProbe};
@@ -89,6 +90,10 @@ pub struct TierReport {
     pub retired: u64,
     /// Per-opcode-slot retire counts from the golden model.
     pub coverage: Box<[u64; OPCODE_SPACE]>,
+    /// Per-cause stall cycles the uncached pipeline run observed (all
+    /// zero for ISS-only programs), indexed by [`StallReason::index`] —
+    /// how well the fuzz corpus exercises the stall machinery.
+    pub stall_coverage: [u64; StallReason::COUNT],
 }
 
 struct IssOut {
@@ -135,6 +140,7 @@ struct PipeOut {
     d: [u32; 16],
     a: [u32; 16],
     events: Vec<EventRecord>,
+    stall_cycles: [u64; StallReason::COUNT],
 }
 
 fn pipe_exec(image: &Image, fast: bool, max_cycles: u64) -> PipeOut {
@@ -149,6 +155,7 @@ fn pipe_exec(image: &Image, fast: bool, max_cycles: u64) -> PipeOut {
         d: [0; 16],
         a: [0; 16],
         events: Vec::new(),
+        stall_cycles: [0; StallReason::COUNT],
     };
     if let Err(e) = image.load_into(&mut bus.mem) {
         out.err = Some(e);
@@ -177,6 +184,7 @@ fn pipe_exec(image: &Image, fast: bool, max_cycles: u64) -> PipeOut {
     out.retired = core.retired_total();
     out.d = core.arch().d;
     out.a = core.arch().a;
+    out.stall_cycles = core.stats().stall_cycles;
     out
 }
 
@@ -272,6 +280,7 @@ pub fn check_image(image: &Image, tiers: Tiers, opts: &CheckOptions) -> TierRepo
         errored: false,
         retired: slow.instr_count,
         coverage: slow.coverage,
+        stall_coverage: [0; StallReason::COUNT],
     };
 
     // Static differential first: it is independent of execution.
@@ -363,6 +372,7 @@ pub fn check_image(image: &Image, tiers: Tiers, opts: &CheckOptions) -> TierRepo
     let max_cycles = opts.max_instrs.saturating_mul(40).saturating_add(10_000);
     let pslow = pipe_exec(image, false, max_cycles);
     let pfast = pipe_exec(image, true, max_cycles);
+    report.stall_coverage = pslow.stall_cycles;
     for (tag, p) in [("pipeline uncached", &pslow), ("pipeline cached", &pfast)] {
         if let Some(e) = &p.err {
             report.divergence = Some(format!("{tag} faulted (`{e}`) but the ISS completed"));

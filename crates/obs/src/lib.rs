@@ -46,6 +46,7 @@ use std::collections::BTreeMap;
 pub mod chrome;
 pub mod flame;
 pub mod metrics_text;
+pub mod profile;
 
 pub use flame::FoldedStacks;
 

@@ -66,6 +66,9 @@ pub struct IssRun {
     /// Per-opcode-slot retired counts (`None` unless
     /// [`Iss::set_opcode_observation`] was enabled before the run).
     pub opcode_counts: Option<Box<[u64; OPCODE_SPACE]>>,
+    /// Per-block execution profile (`None` unless
+    /// [`Iss::set_profile_observation`] was enabled before the run).
+    pub block_profile: Option<Box<audo_obs::profile::BlockProfile>>,
 }
 
 /// The functional golden-model simulator.
@@ -103,6 +106,7 @@ pub struct Iss {
     events: EventSink,
     mix: Option<Box<[u64; InstrClass::COUNT]>>,
     opcodes: Option<Box<[u64; OPCODE_SPACE]>>,
+    profile: Option<Box<audo_obs::profile::BlockProfile>>,
 }
 
 impl Default for Iss {
@@ -126,6 +130,7 @@ impl Iss {
             events: EventSink::disabled(),
             mix: None,
             opcodes: None,
+            profile: None,
         }
     }
 
@@ -238,6 +243,30 @@ impl Iss {
         self.opcodes.as_deref()
     }
 
+    /// Enables or disables block-level execution profiling.
+    ///
+    /// Off by default (same cost profile as [`Iss::set_mix_observation`]:
+    /// one untaken branch per retirement). When on, every predecoded block
+    /// dispatched by the fast path counts one execution under its
+    /// `(region, offset, generation)` key and every instruction retired
+    /// from it counts toward the block; the functional tier records no
+    /// cycles (it has no clock). Only fast-path dispatches are profiled —
+    /// enable the fast path ([`Iss::set_fast_path`]) to profile. Enabling
+    /// resets the profile; disabling drops it.
+    pub fn set_profile_observation(&mut self, enabled: bool) {
+        self.profile = if enabled {
+            Some(Box::new(audo_obs::profile::BlockProfile::new()))
+        } else {
+            None
+        };
+    }
+
+    /// The block-execution profile recorded so far, if profiling is on.
+    #[must_use]
+    pub fn block_profile(&self) -> Option<&audo_obs::profile::BlockProfile> {
+        self.profile.as_deref()
+    }
+
     /// Samples this ISS's counters into an observability registry.
     ///
     /// Records the retired-instruction total, decode-cache statistics
@@ -260,6 +289,12 @@ impl Iss {
             for &(idx, name) in crate::opcodes::ASSIGNED {
                 reg.sample(&format!("iss.opcode.{name}"), counts[usize::from(idx)]);
             }
+        }
+        if let Some(profile) = self.block_profile() {
+            let total = profile.total();
+            reg.sample("iss.profile.blocks", profile.blocks.len() as u64);
+            reg.sample("iss.profile.executions", total.executions);
+            reg.sample("iss.profile.instructions", total.instructions);
         }
     }
 
@@ -398,6 +433,15 @@ impl Iss {
                 None => return self.step().map(|out| out.wait),
             }
         };
+        let block_key = self.profile.as_deref_mut().map(|profile| {
+            let key = audo_obs::profile::BlockKey {
+                region: region.0,
+                offset: pc.wrapping_sub(region.0),
+                generation,
+            };
+            profile.record_entry(key);
+            key
+        });
         for i in 0..self.block_buf.len() {
             if self.instr_count >= max_instrs {
                 return Err(SimError::LimitExceeded {
@@ -411,6 +455,10 @@ impl Iss {
             self.note_mix(&ci.instr);
             self.note_opcode(&ci.instr, ci.len);
             self.note_retired(ci.pc, &out);
+            if let Some(profile) = self.profile.as_deref_mut() {
+                let end = ci.pc.wrapping_add(u32::from(ci.len)).wrapping_sub(pc);
+                profile.record_instr(block_key, end);
+            }
             if self.halted {
                 return Ok(false);
             }
@@ -485,6 +533,7 @@ impl Iss {
             debug_markers: self.debug_markers,
             events: self.events.drain(),
             opcode_counts: self.opcodes,
+            block_profile: self.profile,
         })
     }
 }

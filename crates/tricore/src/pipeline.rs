@@ -134,6 +134,26 @@ impl MicroProps {
     }
 }
 
+/// Identity of the predecoded block an instruction was carved into,
+/// carried on each queue entry so the profiler can charge cycles to the
+/// owning block. `start` is the block's first PC (the cache key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockTag {
+    region: u32,
+    start: u32,
+    generation: u64,
+}
+
+impl BlockTag {
+    fn key(self) -> audo_obs::profile::BlockKey {
+        audo_obs::profile::BlockKey {
+            region: self.region,
+            offset: self.start.wrapping_sub(self.region),
+            generation: self.generation,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Decoded {
     pc: u32,
@@ -143,6 +163,10 @@ struct Decoded {
     /// `None` on the slow path, which then derives them at issue — exactly
     /// the original per-cycle cost, so fast-off remains an honest baseline.
     props: Option<MicroProps>,
+    /// Owning predecode block, when carved from stamped bytes on the fast
+    /// path (`None` on the slow path or from unstamped bytes). Purely an
+    /// attribution label: timing never reads it.
+    tag: Option<BlockTag>,
 }
 
 #[derive(Debug, Clone)]
@@ -320,6 +344,17 @@ pub struct Core {
     idle: bool,
     retired_total: u64,
     stats: PipelineStats,
+
+    // Block-level cycle attribution (opt-in; None costs one untaken
+    // branch per charge site).
+    profile: Option<Box<audo_obs::profile::BlockProfile>>,
+    /// Block of the most recently issued instruction — owns trailing
+    /// fetch-starvation and idle cycles.
+    last_issue_tag: Option<BlockTag>,
+    /// Block charged for `stall_until` wait cycles (the instruction that
+    /// armed the stall; cleared on interrupt entry, whose context stall
+    /// belongs to no guest block).
+    stall_tag: Option<BlockTag>,
 }
 
 impl Core {
@@ -354,6 +389,9 @@ impl Core {
             idle: false,
             retired_total: 0,
             stats: PipelineStats::default(),
+            profile: None,
+            last_issue_tag: None,
+            stall_tag: None,
         }
     }
 
@@ -419,6 +457,36 @@ impl Core {
     #[must_use]
     pub fn fast_path(&self) -> bool {
         self.fast_path
+    }
+
+    /// Enables or disables block-level cycle attribution (default: off,
+    /// costing one untaken branch per charge site).
+    ///
+    /// When on, every cycle the core accounts — retire cycles and every
+    /// [`StallReason`]-classified stall cycle — is additionally charged to
+    /// the predecoded block that owns the retiring/stalling instruction,
+    /// keyed by `(region base, block offset, write generation)`. Cycles
+    /// with no block identity (cold-start fetch, interrupt entry,
+    /// unstamped bytes) land in the profile's explicit `unattributed`
+    /// bucket, so the profile's cycle total always equals the
+    /// [`PipelineStats`] `retire + Σ stalls` total exactly. Attribution
+    /// needs the fast path's block stamps; with the fast path off all
+    /// cycles are unattributed. Enabling resets the profile; disabling
+    /// drops it. Timing is bit-identical either way.
+    pub fn set_profile_observation(&mut self, enabled: bool) {
+        self.profile = if enabled {
+            Some(Box::new(audo_obs::profile::BlockProfile::new()))
+        } else {
+            None
+        };
+        self.last_issue_tag = None;
+        self.stall_tag = None;
+    }
+
+    /// The block-level cycle-attribution profile, if profiling is on.
+    #[must_use]
+    pub fn block_profile(&self) -> Option<&audo_obs::profile::BlockProfile> {
+        self.profile.as_deref()
     }
 
     fn flush(&mut self, new_pc: u32) {
@@ -555,23 +623,23 @@ impl Core {
     }
 
     /// Records a freshly decoded instruction into the fill block (fast
-    /// path only) and returns the micro-props for its queue entry.
-    fn note_decoded(&mut self, pc: u32, instr: Instr, len: u8) -> Option<MicroProps> {
+    /// path only) and returns the micro-props and owning-block tag for its
+    /// queue entry.
+    fn note_decoded(
+        &mut self,
+        pc: u32,
+        instr: Instr,
+        len: u8,
+    ) -> (Option<MicroProps>, Option<BlockTag>) {
         if !self.fast_path {
-            return None;
+            return (None, None);
         }
         let props = MicroProps::of(&instr);
-        let dec = Decoded {
-            pc,
-            instr,
-            len,
-            props: Some(props),
-        };
         let Some(stamp) = self.byte_buf_code else {
             // Unstamped bytes cannot be cached, but the derived props are
             // a pure function of the instruction and stay usable.
             self.finalize_fill();
-            return Some(props);
+            return (Some(props), None);
         };
         let terminal = props.control_flow
             || props.serializing
@@ -583,28 +651,43 @@ impl Core {
                     .last()
                     .is_some_and(|d| d.pc.wrapping_add(u32::from(d.len)) == pc)
         });
-        if extends {
-            if let Some(fill) = &mut self.filling {
-                fill.instrs.push(dec);
+        let tag = if extends {
+            let fill = self.filling.as_mut().expect("extends implies filling");
+            BlockTag {
+                region: fill.region,
+                start: fill.key,
+                generation: fill.generation,
             }
-            if terminal {
-                self.finalize_fill();
+        } else {
+            self.finalize_fill();
+            self.stats.predecode.misses += 1;
+            self.filling = Some(FillBlock {
+                key: pc,
+                region: stamp.0,
+                generation: stamp.1,
+                instrs: Vec::new(),
+                error: None,
+            });
+            BlockTag {
+                region: stamp.0,
+                start: pc,
+                generation: stamp.1,
             }
-            return Some(props);
+        };
+        let dec = Decoded {
+            pc,
+            instr,
+            len,
+            props: Some(props),
+            tag: Some(tag),
+        };
+        if let Some(fill) = &mut self.filling {
+            fill.instrs.push(dec);
         }
-        self.finalize_fill();
-        self.stats.predecode.misses += 1;
-        self.filling = Some(FillBlock {
-            key: pc,
-            region: stamp.0,
-            generation: stamp.1,
-            instrs: vec![dec],
-            error: None,
-        });
         if terminal {
             self.finalize_fill();
         }
-        Some(props)
+        (Some(props), Some(tag))
     }
 
     /// Records a decode error as the terminator of the current fill block
@@ -680,7 +763,7 @@ impl Core {
             }
             match decode(&self.byte_buf, Addr(pc)) {
                 Ok((instr, len)) => {
-                    let props = self.note_decoded(pc, instr, len);
+                    let (props, tag) = self.note_decoded(pc, instr, len);
                     self.byte_buf.drain(..len as usize);
                     self.byte_buf_pc = pc.wrapping_add(u32::from(len));
                     self.decode_q.push_back(QEntry::Ok(Decoded {
@@ -688,6 +771,7 @@ impl Core {
                         instr,
                         len,
                         props,
+                        tag,
                     }));
                 }
                 Err(e) => {
@@ -743,9 +827,19 @@ impl Core {
         }
     }
 
-    /// Counts and emits one stall cycle.
-    fn note_stall(&mut self, now: Cycle, reason: StallReason, sink: &mut EventSink) {
+    /// Counts and emits one stall cycle, charging it to `tag`'s block in
+    /// the profile (when profiling is on).
+    fn note_stall(
+        &mut self,
+        now: Cycle,
+        reason: StallReason,
+        tag: Option<BlockTag>,
+        sink: &mut EventSink,
+    ) {
         self.stats.stall_cycles[reason.index()] += 1;
+        if let Some(profile) = self.profile.as_deref_mut() {
+            profile.record_stall_cycle(tag.map(BlockTag::key), reason);
+        }
         sink.emit(now, self.source, PerfEvent::Stall { reason });
     }
 
@@ -824,6 +918,9 @@ impl Core {
                 self.idle = false;
                 self.stall_until = done;
                 self.stall_reason = StallReason::Context;
+                // Interrupt entry belongs to no guest block.
+                self.stall_tag = None;
+                self.last_issue_tag = None;
                 self.refill_reason = Some(StallReason::Context);
                 sink.emit(now, self.source, PerfEvent::IrqTaken { prio });
                 sink.emit(
@@ -840,7 +937,8 @@ impl Core {
         }
 
         if self.idle {
-            self.note_stall(now, StallReason::Idle, sink);
+            let tag = self.last_issue_tag;
+            self.note_stall(now, StallReason::Idle, tag, sink);
             return Ok(out);
         }
 
@@ -849,7 +947,8 @@ impl Core {
 
         if now < self.stall_until {
             let reason = self.stall_reason;
-            self.note_stall(now, reason, sink);
+            let tag = self.stall_tag;
+            self.note_stall(now, reason, tag, sink);
             return Ok(out);
         }
 
@@ -860,6 +959,10 @@ impl Core {
         self.bundle_writes.clear();
         let mut issued = 0u8;
         let mut first_block: Option<StallReason> = None;
+        // Profiler attribution for this cycle: the block charged if no
+        // instruction issues, and the block owning the first issued op.
+        let mut block_attr: Option<BlockTag> = None;
+        let mut bundle_tag: Option<BlockTag> = None;
 
         'issue: while issued < 3 {
             let Some(front) = self.decode_q.front() else {
@@ -867,6 +970,7 @@ impl Core {
                     // An empty queue right after a flush is still the
                     // flush's stall (branch/context), not fetch starvation.
                     first_block = Some(self.refill_reason.unwrap_or(StallReason::Fetch));
+                    block_attr = self.last_issue_tag;
                 }
                 break;
             };
@@ -905,6 +1009,7 @@ impl Core {
             if pipe == Pipe::Ip && now < self.ip_busy_until {
                 if issued == 0 {
                     first_block = Some(StallReason::Execute);
+                    block_attr = dec.tag;
                 }
                 break;
             }
@@ -913,6 +1018,7 @@ impl Core {
                 if self.reg_ready(r) > now {
                     if issued == 0 {
                         first_block = Some(StallReason::Data);
+                        block_attr = dec.tag;
                     }
                     break 'issue;
                 }
@@ -935,6 +1041,26 @@ impl Core {
             let did_write = tm.write_count > 0;
             issued += 1;
             self.retired_total += 1;
+            // The op that issues owns subsequent wait/starvation cycles;
+            // the first of the bundle owns the retire cycle.
+            self.stall_tag = dec.tag;
+            self.last_issue_tag = dec.tag;
+            if issued == 1 {
+                bundle_tag = dec.tag;
+            }
+            if let Some(profile) = self.profile.as_deref_mut() {
+                match dec.tag {
+                    Some(tag) => {
+                        let key = tag.key();
+                        if pc == tag.start {
+                            profile.record_entry(key);
+                        }
+                        let end = pc.wrapping_add(u32::from(dec.len)).wrapping_sub(tag.start);
+                        profile.record_instr(Some(key), end);
+                    }
+                    None => profile.record_instr(None, 0),
+                }
+            }
             match pipe {
                 Pipe::Ip => ip_used = true,
                 Pipe::Ls => ls_used = true,
@@ -1057,7 +1183,16 @@ impl Core {
                     }
                 }
                 // A redirect ends the bundle.
-                self.finish_issue(now, issued, first_block, sink, &mut out, result)?;
+                self.finish_issue(
+                    now,
+                    issued,
+                    first_block,
+                    block_attr,
+                    bundle_tag,
+                    sink,
+                    &mut out,
+                    result,
+                )?;
                 return Ok(out);
             }
             if result.branch_taken == Some(false) {
@@ -1068,13 +1203,31 @@ impl Core {
                     self.stall_until = self.stall_until.max(now + self.cfg.mispredict_penalty);
                     self.stall_reason = StallReason::Branch;
                     self.stats.mispredicts += 1;
-                    self.finish_issue(now, issued, first_block, sink, &mut out, result)?;
+                    self.finish_issue(
+                        now,
+                        issued,
+                        first_block,
+                        block_attr,
+                        bundle_tag,
+                        sink,
+                        &mut out,
+                        result,
+                    )?;
                     return Ok(out);
                 }
             }
 
             if result.debug.is_some() || result.wait || result.halt {
-                self.finish_issue(now, issued, first_block, sink, &mut out, result)?;
+                self.finish_issue(
+                    now,
+                    issued,
+                    first_block,
+                    block_attr,
+                    bundle_tag,
+                    sink,
+                    &mut out,
+                    result,
+                )?;
                 return Ok(out);
             }
             if props.serializing {
@@ -1087,15 +1240,27 @@ impl Core {
         }
 
         let result = crate::exec::Outcome::default();
-        self.finish_issue(now, issued, first_block, sink, &mut out, result)?;
+        self.finish_issue(
+            now,
+            issued,
+            first_block,
+            block_attr,
+            bundle_tag,
+            sink,
+            &mut out,
+            result,
+        )?;
         Ok(out)
     }
 
+    #[allow(clippy::too_many_arguments)] // reason: one internal per-cycle epilogue, not an API
     fn finish_issue(
         &mut self,
         now: Cycle,
         issued: u8,
         first_block: Option<StallReason>,
+        block_attr: Option<BlockTag>,
+        bundle_tag: Option<BlockTag>,
         sink: &mut EventSink,
         out: &mut StepOutput,
         last: crate::exec::Outcome,
@@ -1113,10 +1278,13 @@ impl Core {
         out.retired = issued;
         if issued > 0 {
             self.stats.retire_cycles += 1;
+            if let Some(profile) = self.profile.as_deref_mut() {
+                profile.record_retire_cycle(bundle_tag.map(BlockTag::key));
+            }
             sink.emit(now, self.source, PerfEvent::InstrRetired { count: issued });
         } else if !self.halted && !self.idle {
             let reason = first_block.unwrap_or(StallReason::Data);
-            self.note_stall(now, reason, sink);
+            self.note_stall(now, reason, block_attr, sink);
         }
         Ok(())
     }

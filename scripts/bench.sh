@@ -28,6 +28,15 @@ echo "==> BENCH_pipeline.json (pipeline predecoded fast path speedup)"
 # timing anything, then records best-of-reps speedups per workload.
 cargo run --release -q -p audo-bench --bin pipeline_bench -- --json BENCH_pipeline.json
 
+echo "==> BENCH_profile.json (block-profiling overhead vs the fresh baselines)"
+# Runs right after the ISS and pipeline baselines so all three share the
+# same machine state. The profiling-off fast paths must stay within 2%
+# (geomean) of the recorded baselines; the profiling-on cost is recorded
+# as the measured overhead of the always-on sampling profiler.
+cargo run --release -q -p audo-bench --bin profile -- \
+    --overhead-json BENCH_profile.json \
+    --iss-baseline BENCH_iss.json --pipeline-baseline BENCH_pipeline.json
+
 echo "==> BENCH_experiments.json (paper experiment timings)"
 cargo run --release -q -p audo-bench --bin experiments -- --json BENCH_experiments.json
 

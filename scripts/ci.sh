@@ -173,6 +173,28 @@ grep -q 'mul' "$fz_dir"/pins/*.md
 rm -rf "$fz_dir"
 echo "fuzz gate passed"
 
+echo "==> profile gate: golden pinned, attribution exact, self-compare zero, --jobs byte-identical"
+# The block profiler's report is a pure function of the workload and
+# tier. The committed hot-block golden and the generation-bump test are
+# pinned by the dedicated suite; the CLI surface must machine-check the
+# cycle-attribution identity on a full workload, a self-compare must
+# show all-zero deltas (parser/renderer round trip), and the worker
+# count must not leak one byte into a multi-workload report.
+cargo test -q --test profile_determinism
+pf_dir="$(mktemp -d)"
+./target/release/profile --workload engine --tier pipeline \
+    --json "$pf_dir/engine.json" >"$pf_dir/report.txt"
+grep -q '(exact)' "$pf_dir/report.txt"
+grep -q 'hot blocks:' "$pf_dir/report.txt"
+./target/release/profile --compare "$pf_dir/engine.json" "$pf_dir/engine.json" \
+    >"$pf_dir/self.txt"
+grep -q ' 0 of .* blocks differ' "$pf_dir/self.txt"
+./target/release/profile --workload engine,transmission,chassis --jobs 4 >"$pf_dir/j4.txt"
+./target/release/profile --workload engine,transmission,chassis --jobs 1 >"$pf_dir/j1.txt"
+cmp "$pf_dir/j4.txt" "$pf_dir/j1.txt"
+rm -rf "$pf_dir"
+echo "profile gate passed"
+
 echo "==> missing-docs gate: operator-surface crates deny undocumented items"
 # The documented operator surface (observability, static analysis, fleet
 # service) must carry #![warn(missing_docs)]; the rustdoc gate below turns
@@ -181,6 +203,14 @@ for f in crates/common crates/mcds crates/obs crates/analyze crates/fleet \
          crates/asm crates/fuzz; do
     if ! grep -q '^#!\[warn(missing_docs)\]' "$f/src/lib.rs"; then
         echo "missing #![warn(missing_docs)]: $f/src/lib.rs" >&2
+        exit 1
+    fi
+done
+# The profile data model rides inside audo-obs (covered above); the
+# operator-facing CLI binaries must at least open with module docs.
+for f in crates/obs/src/profile.rs crates/bench/src/bin/profile.rs; do
+    if ! head -1 "$f" | grep -q '^//!'; then
+        echo "missing module docs (//!): $f" >&2
         exit 1
     fi
 done

@@ -21,8 +21,10 @@ pub mod cfg;
 pub mod constprop;
 pub mod findings;
 pub mod hazard;
+pub mod loopbound;
 pub mod predict;
 pub mod symbols;
+pub mod wcet;
 
 use audo_common::Addr;
 use audo_platform::config::{Region, SocConfig};

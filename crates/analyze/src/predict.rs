@@ -29,10 +29,12 @@ use std::collections::BTreeMap;
 
 use audo_platform::config::{Region, SocConfig};
 use audo_tricore::isa::Instr;
+use audo_tricore::pipeline::CostModel;
 
 use crate::access::{self};
 use crate::cfg::{self, Block, Cfg};
 use crate::constprop::{RegState, Solution};
+use crate::wcet;
 
 /// Static rate prediction for one steady-state block.
 #[derive(Debug, Clone)]
@@ -82,6 +84,15 @@ pub struct Prediction {
     pub flash_per_100: f64,
     /// Static trip-weighted scratchpad accesses per 100 instructions.
     pub spr_per_100: f64,
+    /// Upper bound on the cycles any single carved block can cost per
+    /// execution (from the shared pipeline cost model, at the SoC's
+    /// worst-case memory latencies). Fleet envelope for the measured
+    /// block profiler.
+    pub block_cycles_ub: u64,
+    /// Worst-case whole-program CSA depth, when the call graph is
+    /// recursion-free and fully resolved. Fleet envelope for the
+    /// measured `csa_depth_peak` gauge.
+    pub csa_depth_ub: Option<u64>,
 }
 
 /// Meet of the register states flowing into `block` from outside itself
@@ -254,6 +265,9 @@ pub fn steady_set(cfg: &Cfg, sol: &Solution) -> BTreeMap<u32, u64> {
 pub fn predict(cfg: &Cfg, sol: &Solution, soc: &SocConfig) -> Prediction {
     let preds = cfg.preds();
     let weights = steady_set(cfg, sol);
+    // One timing table: the same exported cost model the WCET analyzer
+    // and the cycle-level pipeline share.
+    let model = CostModel::new(soc.cpu.clone(), wcet::soc_mem_costs(soc));
 
     let mut blocks = Vec::new();
     for (&start, &weight) in &weights {
@@ -294,7 +308,7 @@ pub fn predict(cfg: &Cfg, sol: &Solution, soc: &SocConfig) -> Prediction {
             | cfg::Terminator::Branch
             | cfg::Terminator::Call
             | cfg::Terminator::IndirectJump
-            | cfg::Terminator::Return => 2,
+            | cfg::Terminator::Return => model.redirect_penalty(),
             cfg::Terminator::Halt | cfg::Terminator::FallThrough | cfg::Terminator::DecodeStop => 0,
         };
         blocks.push(BlockPredict {
@@ -342,6 +356,8 @@ pub fn predict(cfg: &Cfg, sol: &Solution, soc: &SocConfig) -> Prediction {
         ipc_lb: if wc > 0.0 { wi / wc * 0.5 } else { 0.0 },
         flash_per_100: if wi > 0.0 { wflash * 100.0 / wi } else { 0.0 },
         spr_per_100: if wi > 0.0 { wspr * 100.0 / wi } else { 0.0 },
+        block_cycles_ub: model.carved_block_cost_ub(),
+        csa_depth_ub: wcet::program_csa_bound(cfg, sol).finite(),
         blocks,
     }
 }
@@ -372,9 +388,17 @@ impl CheckRow {
 
 /// Parses a Prometheus text snapshot (`# `-prefixed comments skipped)
 /// into `name -> value`. Labelled series keep their label block in the
-/// key; later duplicates win (harmless for gauges/counters).
-#[must_use]
-pub fn parse_snapshot(text: &str) -> BTreeMap<String, f64> {
+/// key.
+///
+/// A duplicate key is an error, not last-write-wins: the registry never
+/// emits the same series twice, so a duplicate means the snapshot was
+/// concatenated or truncated-and-retried, and silently keeping either
+/// value would check rates against corrupt data.
+///
+/// # Errors
+///
+/// Returns the first duplicated series name.
+pub fn parse_snapshot(text: &str) -> Result<BTreeMap<String, f64>, String> {
     let mut out = BTreeMap::new();
     for line in text.lines() {
         let line = line.trim();
@@ -386,10 +410,12 @@ pub fn parse_snapshot(text: &str) -> BTreeMap<String, f64> {
             continue;
         };
         if let Ok(v) = value.parse::<f64>() {
-            out.insert(name.to_string(), v);
+            if out.insert(name.to_string(), v).is_some() {
+                return Err(format!("duplicate metric series `{name}` in snapshot"));
+            }
         }
     }
-    out
+    Ok(out)
 }
 
 fn lookup(snapshot: &BTreeMap<String, f64>, suffix: &str) -> Option<f64> {
@@ -417,6 +443,7 @@ pub fn check(pred: &Prediction, snapshot: &BTreeMap<String, f64>) -> Vec<CheckRo
         _ => None,
     };
     let ipc = lookup(snapshot, "soc_tricore_ipc");
+    let csa = lookup(snapshot, "soc_tricore_csa_depth_peak");
 
     vec![
         CheckRow {
@@ -432,6 +459,16 @@ pub fn check(pred: &Prediction, snapshot: &BTreeMap<String, f64>) -> Vec<CheckRo
             // no-dcache model, not a cycle-accurate trace.
             lo: 0.0,
             hi: pred.flash_per_100 * 2.0 + 0.5,
+        },
+        CheckRow {
+            name: "csa_depth",
+            measured: csa,
+            lo: 0.0,
+            // No finite static depth (recursion, unresolved calls):
+            // nothing to hold the measurement to.
+            // reason: CSA depths are tiny integers; exact in f64.
+            #[allow(clippy::cast_precision_loss)]
+            hi: pred.csa_depth_ub.map_or(f64::INFINITY, |d| d as f64),
         },
     ]
 }
@@ -625,7 +662,8 @@ bg:
              audo_soc_flash_buffer_hits 10\n\
              audo_soc_flash_buffer_misses 0\n\
              audo_soc_tricore_instructions_retired 10000\n",
-        );
+        )
+        .expect("clean snapshot parses");
         assert!(check(&p, &good).iter().all(CheckRow::ok));
 
         // A flash-heavy measurement cannot come from this scratchpad-
@@ -635,11 +673,147 @@ bg:
              audo_soc_flash_buffer_hits 2400\n\
              audo_soc_flash_buffer_misses 100\n\
              audo_soc_tricore_instructions_retired 10000\n",
-        );
+        )
+        .expect("clean snapshot parses");
         let rows = check(&p, &bad);
         assert!(!rows.iter().all(CheckRow::ok));
         let table = render_check("img", &rows);
         assert!(table.contains("DIVERGED"), "{table}");
+    }
+
+    #[test]
+    fn duplicate_metric_series_is_rejected() {
+        let err = parse_snapshot(
+            "audo_soc_tricore_ipc 0.7\n\
+             audo_soc_tricore_ipc 0.9\n",
+        )
+        .expect_err("duplicate must not be last-write-wins");
+        assert!(err.contains("audo_soc_tricore_ipc"), "{err}");
+        // Comments and blank lines never count as series.
+        let ok = parse_snapshot(
+            "# HELP x y\n\
+             \n\
+             # HELP x y\n\
+             audo_soc_tricore_ipc 0.7\n",
+        )
+        .expect("comments are not duplicates");
+        assert_eq!(ok.len(), 1);
+    }
+
+    /// First-iteration entry state of a block, as `steady_set` sees it.
+    fn outside_of(src: &str, start_hint: u32) -> (Cfg, RegState) {
+        let g = cfg::recover(&assemble(src).expect("test source assembles"));
+        let sol = constprop::solve(&g);
+        let preds = g.preds();
+        let st = outside_entry(&g, &sol, &preds, start_hint);
+        (g, st)
+    }
+
+    /// Finds the unique self-looping block of `src` and returns its
+    /// inferred trip count.
+    fn trip_of(src: &str) -> Option<u64> {
+        let g = cfg::recover(&assemble(src).expect("test source assembles"));
+        let looping: Vec<u32> = g
+            .blocks
+            .values()
+            .filter(|b| b.edges.iter().any(|e| e.to == b.start))
+            .map(|b| b.start)
+            .collect();
+        assert_eq!(looping.len(), 1, "expected one self-loop: {looping:x?}");
+        let (g2, outside) = outside_of(src, looping[0]);
+        self_loop_trip(&g2.blocks[&looping[0]], &outside)
+    }
+
+    #[test]
+    fn zero_counter_is_not_a_trip_bound() {
+        // A decrement counter entered at 0 wraps and loops 2^32 times;
+        // certifying trip 0 (or anything) would be unsound.
+        assert_eq!(
+            trip_of(
+                "
+    .org 0x80000000
+_start:
+    li d2, 0
+bg:
+    addi d2, d2, -1
+    jnz d2, bg
+    halt
+"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn non_unit_step_is_not_certified() {
+        // Stepping by -2 from an odd start never hits zero: the `addi -1`
+        // pattern must not match a -2 decrement.
+        assert_eq!(
+            trip_of(
+                "
+    .org 0x80000000
+_start:
+    li d2, 7
+bg:
+    addi d2, d2, -2
+    jnz d2, bg
+    halt
+"
+            ),
+            None
+        );
+        // An ascending counter never terminates by decrement either.
+        assert_eq!(
+            trip_of(
+                "
+    .org 0x80000000
+_start:
+    li d2, 7
+bg:
+    addi d2, d2, 1
+    jnz d2, bg
+    halt
+"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn wraparound_entry_value_is_not_certified() {
+        // Entered with a negative (huge unsigned) value: the loop runs
+        // ~2^32 iterations; the trip clamp must reject it.
+        assert_eq!(
+            trip_of(
+                "
+    .org 0x80000000
+_start:
+    li d2, 0xfffffff0
+bg:
+    addi d2, d2, -1
+    jnz d2, bg
+    halt
+"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn prediction_exports_fleet_envelope_bounds() {
+        let p = predicted(
+            "
+    .org 0x80000000
+_start:
+    call helper
+    halt
+helper:
+    movi d0, 1
+    ret
+",
+        );
+        assert!(p.block_cycles_ub > 0);
+        assert_eq!(p.csa_depth_ub, Some(1));
     }
 
     #[test]

@@ -162,7 +162,8 @@ fn measured_stock_run_passes_static_bounds() {
     soc.export_obs(&mut reg);
     let snapshot = audo_obs::metrics_text::render(&reg, "audo_");
 
-    let rows = predict::check(&a.prediction, &predict::parse_snapshot(&snapshot));
+    let parsed = predict::parse_snapshot(&snapshot).expect("registry snapshot has no duplicates");
+    let rows = predict::check(&a.prediction, &parsed);
     assert!(
         rows.iter().all(predict::CheckRow::ok),
         "{}",
@@ -201,7 +202,8 @@ audo_soc_flash_buffer_hits 20000
 audo_soc_flash_buffer_misses 4600
 audo_soc_tricore_ipc 0.71
 ";
-    let rows = predict::check(&a.prediction, &predict::parse_snapshot(stock_profile));
+    let parsed = predict::parse_snapshot(stock_profile).expect("snapshot parses");
+    let rows = predict::check(&a.prediction, &parsed);
     let flash = rows
         .iter()
         .find(|r| r.name == "flash_per_100_instrs")

@@ -20,6 +20,10 @@
 //!   --inject-fault M    test-only: corrupt the fast-path result of any
 //!                       program that retires mnemonic M (exercises the
 //!                       whole shrink/pin loop without a real bug)
+//!   --check-wcet        additionally hold every agreeing program to the
+//!                       static WCET/CSA bounds from audo-analyze: a
+//!                       measured count above a static bound is reported,
+//!                       shrunk and pinned like a tier divergence
 //!   --json              print the JSON report instead of the text one
 //!   --bench-json PATH   write wall-clock throughput (programs/sec) as a
 //!                       BENCH_fuzz.json perf artifact
@@ -91,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
                     opcode_by_name(&m).ok_or(format!("--inject-fault: unknown mnemonic {m:?}"))?,
                 );
             }
+            "--check-wcet" => args.opts.check_wcet = true,
             "--json" => args.json = true,
             "--bench-json" => args.bench_json = Some(value()?),
             "--metrics-out" => args.metrics_out = Some(value()?),
@@ -98,8 +103,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: fuzz [--seed S] [--iterations N] [--jobs N] [--round N] \
                      [--max-instrs N] [--corpus DIR | --no-corpus] [--pin-dir DIR] \
-                     [--inject-fault MNEMONIC] [--json] [--bench-json PATH] \
-                     [--metrics-out PATH]"
+                     [--inject-fault MNEMONIC] [--check-wcet] [--json] \
+                     [--bench-json PATH] [--metrics-out PATH]"
                 );
                 std::process::exit(0);
             }

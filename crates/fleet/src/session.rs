@@ -23,6 +23,8 @@ pub fn veto_code(rate: &str) -> &'static str {
     match rate {
         "ipc" => "FLEET-IPC-RANGE",
         "flash_per_100_instrs" => "FLEET-FLASH-RATE",
+        "csa_depth" => "FLEET-CSA-DEPTH",
+        "wcet_block_cycles" => "FLEET-WCET-BLOCK",
         _ => "FLEET-RATE",
     }
 }
@@ -140,7 +142,7 @@ pub fn run_session(
         snapshot.insert(audo_obs::metrics_text::sanitize(name), v);
     }
     let rows = predict::check(&art.envelope, &snapshot);
-    let veto_rows: Vec<VetoRow> = rows
+    let mut veto_rows: Vec<VetoRow> = rows
         .iter()
         .filter(|r| !r.ok())
         .map(|r: &CheckRow| VetoRow {
@@ -152,6 +154,40 @@ pub fn run_session(
         })
         .collect();
 
+    let hot_blocks = ed.soc.tricore.block_profile().map_or_else(Vec::new, |p| {
+        p.top_blocks(HOT_BLOCKS_PER_SESSION)
+            .into_iter()
+            .map(|(k, c)| (*k, *c))
+            .collect::<Vec<_>>()
+    });
+    // WCET envelope over the hot blocks: a carved block's cycles can
+    // never exceed `(executions + 1 + interrupts) × block_cycles_ub`
+    // under the static timing table (the +1 covers a final partial
+    // entry, interrupts discard in-flight work already charged). A unit
+    // above that line runs timing the cohort's image cannot produce.
+    if art.envelope.block_cycles_ub > 0 {
+        let irqs = ed.soc.irqs_taken;
+        for (_, c) in &hot_blocks {
+            let entries = c.executions + 1 + irqs;
+            // reason: cycle tallies are far below 2^53; exact in f64.
+            #[allow(clippy::cast_precision_loss)]
+            let per_entry = c.cycles() as f64 / entries as f64;
+            // reason: cycle tallies are far below 2^53; exact in f64.
+            #[allow(clippy::cast_precision_loss)]
+            let ub = art.envelope.block_cycles_ub as f64;
+            if per_entry > ub {
+                veto_rows.push(VetoRow {
+                    rate: "wcet_block_cycles",
+                    code: veto_code("wcet_block_cycles"),
+                    measured: per_entry,
+                    lo: 0.0,
+                    hi: ub,
+                });
+                break;
+            }
+        }
+    }
+
     let find_hist = |suffix: &str| {
         outcome
             .obs
@@ -162,12 +198,6 @@ pub fn run_session(
     };
     let (link_retries, link_timeouts, link_truncated) = outcome.tool.map_or((0, 0, false), |t| {
         (t.stats.retries, t.stats.timeouts, t.stats.trace_truncated)
-    });
-    let hot_blocks = ed.soc.tricore.block_profile().map_or_else(Vec::new, |p| {
-        p.top_blocks(HOT_BLOCKS_PER_SESSION)
-            .into_iter()
-            .map(|(k, c)| (*k, *c))
-            .collect()
     });
     Ok(SessionSample {
         cycles: outcome.cycles,
@@ -183,4 +213,18 @@ pub fn run_session(
         veto_rows,
         hot_blocks,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn veto_codes_are_stable_per_rate() {
+        assert_eq!(veto_code("ipc"), "FLEET-IPC-RANGE");
+        assert_eq!(veto_code("flash_per_100_instrs"), "FLEET-FLASH-RATE");
+        assert_eq!(veto_code("csa_depth"), "FLEET-CSA-DEPTH");
+        assert_eq!(veto_code("wcet_block_cycles"), "FLEET-WCET-BLOCK");
+        assert_eq!(veto_code("anything_else"), "FLEET-RATE");
+    }
 }

@@ -50,6 +50,9 @@ pub struct FuzzOptions {
     pub pin_dir: Option<PathBuf>,
     /// Test-only fault hook, forwarded to the tier checker.
     pub fault: Option<u8>,
+    /// Hold every agreeing run to the static WCET/CSA bounds, forwarded
+    /// to the tier checker (see [`CheckOptions::check_wcet`]).
+    pub check_wcet: bool,
     /// Evaluation budget for shrinking one divergence.
     pub shrink_evals: usize,
     /// At most this many divergences are shrunk and pinned (the rest
@@ -67,6 +70,7 @@ impl Default for FuzzOptions {
             corpus_dir: None,
             pin_dir: None,
             fault: None,
+            check_wcet: false,
             shrink_evals: 300,
             max_pinned: 3,
         }
@@ -268,6 +272,7 @@ fn run_case(opts: &FuzzOptions, corpus: &[CorpusEntry], hints: &[u8], index: u64
     let check = CheckOptions {
         max_instrs,
         fault: opts.fault,
+        check_wcet: opts.check_wcet,
     };
     let (divergence, errored, retired, coverage, stall_coverage) =
         match check_source(&source, tiers, &check) {
@@ -392,6 +397,7 @@ where
         let check = CheckOptions {
             max_instrs: e.program.max_instrs.min(opts.max_instrs),
             fault: opts.fault,
+            check_wcet: opts.check_wcet,
         };
         let rep = crate::tiers::check_image(&e.image, e.program.tiers, &check);
         for i in 0..OPCODE_SPACE {
@@ -453,6 +459,7 @@ where
                 let check = CheckOptions {
                     max_instrs: r.max_instrs,
                     fault: opts.fault,
+                    check_wcet: opts.check_wcet,
                 };
                 d.minimized = shrink_source(
                     &r.source,

@@ -17,6 +17,10 @@
 //! * statically: every decodable instruction in the image must
 //!   round-trip `disassemble → assemble → decode` to the same
 //!   instruction (the encoder/disassembler differential).
+//! * optionally ([`CheckOptions::check_wcet`]): the static WCET/CSA
+//!   bounds from `audo-analyze` against a profiled pipeline run — a
+//!   measured count above a static bound is a timing-model bug, handled
+//!   exactly like any other divergence.
 //!
 //! A program on which the golden model itself faults (unmapped store,
 //! retire-budget blowout, CSA exhaustion...) is not a divergence as
@@ -66,6 +70,11 @@ pub struct CheckOptions {
     /// shrink/pin loop can be exercised end to end without waiting for
     /// a real tier bug.
     pub fault: Option<u8>,
+    /// Additionally check the static WCET/CSA bounds against a profiled
+    /// pipeline run of the program: any measured per-block cycle count,
+    /// end-to-end cycle count or CSA peak above its static bound is a
+    /// timing-model bug, reported (and shrunk) like a tier divergence.
+    pub check_wcet: bool,
 }
 
 impl Default for CheckOptions {
@@ -73,6 +82,7 @@ impl Default for CheckOptions {
         CheckOptions {
             max_instrs: 200_000,
             fault: None,
+            check_wcet: false,
         }
     }
 }
@@ -186,6 +196,79 @@ fn pipe_exec(image: &Image, fast: bool, max_cycles: u64) -> PipeOut {
     out.a = core.arch().a;
     out.stall_cycles = core.stats().stall_cycles;
     out
+}
+
+/// Static-WCET soundness differential: recovers the CFG, bounds every
+/// block with the pipeline's exported cost model, reruns the predecoded
+/// pipeline under the block profiler, and reports the first measured
+/// value that exceeds its static bound.
+///
+/// Returns `None` for programs the check cannot speak about: the run
+/// faults or fails to halt (already a divergence or an agreed fault in
+/// the main differential), or the profiler is unavailable. Self-modified
+/// and runtime-written code is excluded inside
+/// [`audo_analyze::wcet::check_profile`] via region write-generation
+/// stamps, so only image-resident blocks are held to the static bounds.
+fn wcet_divergence(image: &Image, max_cycles: u64) -> Option<String> {
+    use audo_analyze::{cfg, constprop, wcet};
+    use audo_tricore::pipeline::{CostModel, MemCosts};
+
+    let g = cfg::recover(image);
+    let sol = constprop::solve(&g);
+
+    let mut bus = TestBus::new();
+    for &(base, len) in REGIONS {
+        bus.mem.add_region(Addr(base), len);
+    }
+    if image.load_into(&mut bus.mem).is_err() {
+        return None;
+    }
+    let mut core = Core::new(CoreConfig::default(), image.entry(), SourceId::TRICORE);
+    core.set_fast_path(true);
+    core.set_profile_observation(true);
+    match init_csa_list(&mut bus.mem, Addr(CSA_BASE), CSA_FRAMES) {
+        Ok(fcx) => core.arch_mut().fcx = fcx,
+        Err(_) => return None,
+    }
+    // Stamps after every load-time store, before the first guest cycle.
+    let stamps = wcet::code_stamps(&g, &bus);
+
+    let model = CostModel::new(CoreConfig::default(), MemCosts::of_test_bus(&bus));
+    let report = wcet::analyze_wcet(&g, &sol, &model, CSA_FRAMES, "fuzz");
+
+    let mut sink = EventSink::new();
+    sink.set_enabled(false);
+    let mut cyc = 0u64;
+    while !core.is_halted() && cyc < max_cycles {
+        if core.step(Cycle(cyc), &mut bus, None, &mut sink).is_err() {
+            return None;
+        }
+        cyc += 1;
+    }
+    if !core.is_halted() {
+        return None;
+    }
+
+    let profile = core.block_profile().cloned()?;
+    let stats = core.stats();
+    let total_cycles = stats.retire_cycles + stats.stall_total();
+    let check = wcet::check_profile(
+        &g,
+        &model,
+        &report,
+        &profile,
+        &stamps,
+        total_cycles,
+        0,
+        core.arch().csa_depth_peak,
+    );
+    check.violations.first().map(|v| {
+        format!(
+            "wcet: measured {} {} at {:#010x} exceeds the static bound {} \
+             (program WCET {}, CSA depth {})",
+            v.what, v.measured, v.addr, v.bound, report.program_wcet, report.program_csa
+        )
+    })
 }
 
 /// Encodes an event stream through a fully armed MCDS (program trace
@@ -429,6 +512,13 @@ pub fn check_image(image: &Image, tiers: Tiers, opts: &CheckOptions) -> TierRepo
         ));
         return report;
     }
+
+    // All tiers agree; optionally hold the run to the static bounds.
+    if opts.check_wcet {
+        if let Some(msg) = wcet_divergence(image, max_cycles) {
+            report.divergence = Some(msg);
+        }
+    }
     report
 }
 
@@ -509,6 +599,32 @@ mod tests {
         let clean = ".org 0x80000000\n_start:\n movi d0, 3\n halt\n";
         let r = check_source(clean, Tiers::All, &opts).unwrap();
         assert_eq!(r.divergence, None);
+    }
+
+    #[test]
+    fn the_wcet_check_passes_on_bounded_programs() {
+        // A counted loop plus a call: finite WCET and CSA depth, so the
+        // profiled run must land inside both bounds.
+        let src = "
+    .org 0x80000000
+_start:
+    li d2, 12
+loop:
+    call work
+    addi d2, d2, -1
+    jnz d2, loop
+    halt
+work:
+    addi d5, d5, 3
+    ret
+";
+        let opts = CheckOptions {
+            check_wcet: true,
+            ..CheckOptions::default()
+        };
+        let r = check_source(src, Tiers::All, &opts).unwrap();
+        assert_eq!(r.divergence, None);
+        assert!(!r.errored);
     }
 
     #[test]

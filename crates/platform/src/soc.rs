@@ -14,8 +14,10 @@ use audo_tricore::Image;
 use crate::config::SocConfig;
 use crate::fabric::{Fabric, PcpPort};
 
-/// Default CSA list placement: top 4 KiB of the DSPR.
-const CSA_AREAS: u32 = 48;
+/// Number of CSA frames [`Soc::load_image`] links into the free list
+/// (top 3 KiB of the DSPR). Public: the static CSA-depth analyzer uses
+/// the same number as its default overflow budget.
+pub const CSA_AREAS: u32 = 48;
 
 /// Observation of one SoC cycle.
 #[derive(Debug, Clone, Default)]
@@ -41,6 +43,9 @@ pub struct Soc {
     pub pcp: Pcp,
     /// Interconnect, memories and peripherals.
     pub fabric: Fabric,
+    /// Interrupts the TriCore accepted (device-side ground truth; the
+    /// fleet veto needs it to loosen per-block cycle envelopes soundly).
+    pub irqs_taken: u64,
     core_sink: EventSink,
     clock: Cycle,
 }
@@ -57,6 +62,7 @@ impl Soc {
             tricore: Core::new(cpu_cfg, crate::config::PFLASH_BASE, SourceId::TRICORE),
             pcp: Pcp::new(pcp_cfg),
             fabric,
+            irqs_taken: 0,
             core_sink: EventSink::new(),
             clock: Cycle::ZERO,
         }
@@ -115,6 +121,11 @@ impl Soc {
             );
         }
         reg.sample("soc.tricore.retire_cycles", p.retire_cycles);
+        reg.sample(
+            "soc.tricore.csa_depth_peak",
+            u64::from(self.tricore.arch().csa_depth_peak),
+        );
+        reg.sample("soc.tricore.irqs_taken", self.irqs_taken);
         reg.sample("soc.tricore.flushes", p.flushes);
         reg.sample("soc.tricore.mispredicts", p.mispredicts);
         reg.sample("soc.tricore.loop_buffer.replays", p.loop_buffer_replays);
@@ -203,6 +214,7 @@ impl Soc {
             .step(now, &mut self.fabric, irq, &mut self.core_sink)?;
         if let Some(prio) = out.irq_taken {
             self.fabric.irq.acknowledge_cpu(prio);
+            self.irqs_taken += 1;
         }
         self.clock += 1;
 

@@ -65,6 +65,11 @@ pub struct ArchState {
     pub core_id: u32,
     /// System configuration register (uninterpreted scratch).
     pub syscon: u32,
+    /// Live CSA frames currently in use (saves minus restores).
+    pub csa_depth: u32,
+    /// High-water mark of [`ArchState::csa_depth`] since reset — the
+    /// measured counterpart of the analyzer's static CSA-depth bound.
+    pub csa_depth_peak: u32,
 }
 
 impl ArchState {
@@ -85,6 +90,8 @@ impl ArchState {
             pcx: 0,
             core_id: 0,
             syscon: 0,
+            csa_depth: 0,
+            csa_depth_peak: 0,
         }
     }
 
@@ -186,6 +193,8 @@ pub fn save_upper_context<M: ArchMem>(st: &mut ArchState, mem: &mut M) -> Result
     }
     st.fcx = next_free;
     st.pcx = frame;
+    st.csa_depth += 1;
+    st.csa_depth_peak = st.csa_depth_peak.max(st.csa_depth);
     Ok(())
 }
 
@@ -227,6 +236,7 @@ pub fn restore_upper_context<M: ArchMem>(
     mem.write(base, 4, st.fcx)?;
     st.fcx = frame;
     st.pcx = older;
+    st.csa_depth = st.csa_depth.saturating_sub(1);
     Ok(())
 }
 

@@ -59,8 +59,9 @@ use crate::exec::{enter_interrupt, execute};
 use crate::isa::{Instr, Pipe, RegList, RegRef};
 
 /// Longest straight-line run predecoded into a single pipeline block
-/// (mirrors the ISS decode cache's cap).
-const MAX_BLOCK_LEN: usize = 64;
+/// (mirrors the ISS decode cache's cap). Public so static analyzers can
+/// bound the cost of *any* carved block without re-deriving the cap.
+pub const MAX_BLOCK_LEN: usize = 64;
 
 /// Timing configuration of the pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1290,6 +1291,163 @@ impl Core {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Static cost export
+// ---------------------------------------------------------------------------
+
+/// Worst-case cycles any *single* memory-port transaction can take on the
+/// bus a program runs against, as seen from the pipeline's issue stage.
+///
+/// This is the only bus-dependent input to [`CostModel`]; everything else
+/// comes from [`CoreConfig`], so the static analyzer and the cycle-level
+/// simulator consume one timing table rather than two hand-kept copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemCosts {
+    /// Worst-case cycles from fetch request to data availability.
+    pub fetch: u64,
+    /// Worst-case cycles from read request to data availability.
+    pub read: u64,
+    /// Worst-case cycles until a store is accepted.
+    pub write: u64,
+}
+
+impl MemCosts {
+    /// Costs of a [`TestBus`](crate::bus::TestBus) (the bus the fuzz
+    /// tiers and pipeline unit
+    /// tests run on), read straight from its latency fields.
+    #[must_use]
+    pub fn of_test_bus(bus: &crate::bus::TestBus) -> MemCosts {
+        MemCosts {
+            fetch: bus.fetch_latency,
+            read: bus.read_latency,
+            write: bus.write_latency,
+        }
+    }
+}
+
+/// Upper bound on data-memory accesses a single serializing instruction
+/// performs: a CSA save/restore moves one 16-word frame plus the free-list
+/// head updates; 20 leaves headroom for the FCX/PCX bookkeeping.
+const CTX_ACCESS_BOUND: u64 = 20;
+
+/// Static per-instruction worst-case cycle costs, derived from the same
+/// [`CoreConfig`] knobs and micro-op classification the issue stage
+/// itself consults. Every stall the pipeline can charge maps to a term
+/// here, so `instr_cost` summed over a block upper-bounds the cycles the
+/// simulator can ever attribute to it (interrupt-entry refills and `WAIT`
+/// idling excepted — callers account for those separately).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    cfg: CoreConfig,
+    mem: MemCosts,
+}
+
+impl CostModel {
+    /// Builds a cost model for a core configured with `cfg` running
+    /// against a bus bounded by `mem`.
+    #[must_use]
+    pub fn new(cfg: CoreConfig, mem: MemCosts) -> CostModel {
+        CostModel { cfg, mem }
+    }
+
+    /// Flush penalty of a mispredicted branch — exported so rate
+    /// predictors reuse the pipeline's number instead of hardcoding one.
+    #[must_use]
+    pub fn redirect_penalty(&self) -> u64 {
+        self.cfg.mispredict_penalty
+    }
+
+    /// Worst-case cycles one instruction can spend waiting for fetch:
+    /// the fetch round-trip plus launch/align slack.
+    fn fetch_share(&self) -> u64 {
+        self.mem.fetch + 2
+    }
+
+    /// Worst-case cycles an instruction can wait at issue for operands or
+    /// a busy integer pipe: a divide in flight, a multiply in flight, or a
+    /// load result still on the bus (`dest_ready = reads_ready + 1`).
+    fn max_issue_wait(&self) -> u64 {
+        self.cfg
+            .div_busy
+            .max(self.cfg.mul_latency)
+            .max(self.mem.read + 1)
+    }
+
+    /// Worst-case refill bubble after a redirect or serializing flush:
+    /// the queue restarts from an empty byte buffer, so up to two fetch
+    /// round-trips can pass before the next instruction issues.
+    fn redirect_refill(&self) -> u64 {
+        2 * self.fetch_share()
+    }
+
+    /// Worst-case serialization cost of a context operation: the drain
+    /// window plus every CSA frame access at worst-case port latency.
+    fn ctx_serialize(&self) -> u64 {
+        self.cfg.ctx_cycles + CTX_ACCESS_BOUND * (self.mem.read.max(self.mem.write) + 1)
+    }
+
+    /// Worst-case cycles `instr` can add to its block: one retire slot
+    /// plus every stall the issue stage can charge on its behalf.
+    #[must_use]
+    pub fn instr_cost(&self, instr: &Instr) -> u64 {
+        let props = MicroProps::of(instr);
+        let mut cost = 1 + self.fetch_share();
+        if !props.reads.is_empty() || props.pipe == Pipe::Ip {
+            cost += self.max_issue_wait();
+        }
+        if instr.is_memory() && !props.serializing {
+            // Loads park the pipe until `reads_ready + 1`; stores can
+            // stall issue until the buffer drains at `writes_accepted`.
+            cost += self.mem.read.max(self.mem.write) + 1;
+        }
+        if props.serializing {
+            cost += self.ctx_serialize();
+        }
+        if props.control_flow || props.serializing {
+            cost += self.cfg.mispredict_penalty + self.redirect_refill();
+        }
+        cost
+    }
+
+    /// Sum of [`CostModel::instr_cost`] over a block body (saturating).
+    pub fn block_cost<'a, I: IntoIterator<Item = &'a Instr>>(&self, instrs: I) -> u64 {
+        instrs
+            .into_iter()
+            .fold(0u64, |acc, i| acc.saturating_add(self.instr_cost(i)))
+    }
+
+    /// Worst-case cycles charged to a block *around* its own
+    /// instructions each time it is entered: the redirect that reached
+    /// it, the refill behind that redirect, and one inherited wait from
+    /// in-flight long-latency work, plus alignment slack.
+    #[must_use]
+    pub fn entry_overhead(&self) -> u64 {
+        self.redirect_refill() + self.cfg.mispredict_penalty + self.max_issue_wait() + 2
+    }
+
+    /// Worst-case cost of any single instruction this model can rate.
+    #[must_use]
+    pub fn max_instr_cost(&self) -> u64 {
+        1 + self.fetch_share()
+            + self.max_issue_wait()
+            + (self.mem.read.max(self.mem.write) + 1)
+            + self.ctx_serialize()
+            + self.cfg.mispredict_penalty
+            + self.redirect_refill()
+    }
+
+    /// Upper bound on the attributed cost of one execution of *any*
+    /// carved pipeline block (at most [`MAX_BLOCK_LEN`] instructions),
+    /// independent of its contents. Fleet envelopes use this where no
+    /// static image is available.
+    #[must_use]
+    pub fn carved_block_cost_ub(&self) -> u64 {
+        (MAX_BLOCK_LEN as u64)
+            .saturating_mul(self.max_instr_cost())
+            .saturating_add(self.entry_overhead())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2040,5 +2198,117 @@ mod tests {
             "patched block must invalidate: {:?}",
             core.stats().predecode
         );
+    }
+
+    #[test]
+    fn cost_model_reads_test_bus_latencies() {
+        let mut bus = TestBus::new();
+        bus.fetch_latency = 3;
+        bus.read_latency = 5;
+        bus.write_latency = 7;
+        let mem = MemCosts::of_test_bus(&bus);
+        assert_eq!(
+            mem,
+            MemCosts {
+                fetch: 3,
+                read: 5,
+                write: 7
+            }
+        );
+    }
+
+    #[test]
+    fn cost_model_exports_pipeline_redirect_penalty() {
+        let model = CostModel::new(
+            CoreConfig::default(),
+            MemCosts::of_test_bus(&TestBus::new()),
+        );
+        assert_eq!(
+            model.redirect_penalty(),
+            CoreConfig::default().mispredict_penalty
+        );
+    }
+
+    /// Statically decodes the instructions of an assembled image starting
+    /// at `at`, in storage order.
+    fn decode_all(src: &str, at: u32) -> Vec<Instr> {
+        let image = assemble(src).expect("assembles");
+        let bytes = image.bytes_at(Addr(at), image.size()).expect("code bytes");
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off + 2 <= bytes.len() {
+            let (instr, len) = decode(&bytes[off..], Addr(at + off as u32)).expect("decodes");
+            let halt = matches!(instr, Instr::Halt) && off + usize::from(len) == bytes.len();
+            out.push(instr);
+            off += usize::from(len);
+            if halt {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Every charge path of the issue stage maps to a term of
+    /// `instr_cost`, so a run-once program must finish within the summed
+    /// static bound plus one pipeline-entry overhead.
+    #[test]
+    fn cost_model_bounds_measured_cycles() {
+        let src = "
+            .org 0x1000
+        _start:
+            la sp, 0xD0004000
+            la a2, 0xD0000100
+            movi d0, 7
+            st.w d0, [a2]
+            ld.w d1, [a2]
+            mul d2, d1, d1
+            div d3, d2, d0
+            call helper
+            halt
+        helper:
+            add d4, d3, d0
+            ret
+        ";
+        let (core, cycles, _) = run_pipeline(src, 10_000);
+        let instrs = decode_all(src, 0x1000);
+        assert_eq!(
+            core.retired_total(),
+            instrs.len() as u64,
+            "run-once program premise broken"
+        );
+        let model = CostModel::new(
+            CoreConfig::default(),
+            MemCosts::of_test_bus(&TestBus::new()),
+        );
+        let bound = model.block_cost(instrs.iter()) + model.entry_overhead();
+        assert!(
+            cycles <= bound,
+            "measured {cycles} cycles exceed static bound {bound}"
+        );
+        // The bound is pessimistic, but not uselessly so.
+        assert!(bound < cycles * 20, "bound {bound} absurd for {cycles}");
+    }
+
+    /// CSA depth counters track call nesting and record the peak.
+    #[test]
+    fn csa_depth_peak_tracks_nesting() {
+        let (core, _, _) = run_pipeline(
+            "
+            .org 0x1000
+        _start:
+            la sp, 0xD0004000
+            call outer
+            halt
+        outer:
+            call inner
+            ret
+        inner:
+            nop
+            ret
+        ",
+            10_000,
+        );
+        assert_eq!(core.arch().csa_depth, 0, "all frames restored");
+        assert_eq!(core.arch().csa_depth_peak, 2, "outer + inner");
     }
 }

@@ -46,6 +46,11 @@ echo "==> BENCH_fleet.json (fleet calibration sessions/sec)"
 cargo run --release -q -p audo-bench --bin fleet -- \
     --sessions 1000 --seed 0xA0D0 --json --bench-json BENCH_fleet.json >/dev/null
 
+echo "==> BENCH_analyze.json (static analyzer blocks/sec)"
+# Full static pipeline — CFG recovery through WCET/CSA bounds — over the
+# three named workloads; images are built outside the timed region.
+cargo run --release -q -p audo-bench --bin analyze -- --bench-json BENCH_analyze.json
+
 echo "==> BENCH_fuzz.json (differential fuzz programs/sec)"
 # 1000 generated programs plus the corpus, each through up to four tier
 # configurations and the MCDS encode/decode check; the deterministic

@@ -123,6 +123,38 @@ fi
 rm -rf "$an_dir"
 echo "analyzer gate passed"
 
+echo "==> wcet gate: corpus soundness sweep, crafted CSA overflow vetoed, fuzz check clean"
+# The static WCET/CSA bounds are gated against measured execution: the
+# corpus-wide soundness sweep must hold on both tiers (and the engine
+# WCET golden must match; refresh with WCET_GOLDEN_REGEN=1), the crafted
+# 50-deep call chain must trip the CSA-OVERFLOW veto against the
+# platform's 48-frame free list, and a fuzz session holding every
+# agreeing program to its static bound must come back clean at any
+# worker count.
+cargo test -q --test wcet_soundness
+wc_status=0
+./target/release/analyze --asm workloads/csa_overflow.s --wcet \
+    >/tmp/wcet_overflow.txt || wc_status=$?
+if [ "$wc_status" -ne 2 ]; then
+    echo "CSA overflow image: expected exit 2, got $wc_status" >&2
+    exit 1
+fi
+grep -q 'CSA-OVERFLOW' /tmp/wcet_overflow.txt
+./target/release/analyze --asm workloads/csa_overflow.s --wcet \
+    --csa-frames 64 >/dev/null
+./target/release/analyze --workload engine --config tc1797 \
+    --wcet --check-profile >/tmp/wcet_profile.txt
+grep -q ': sound' /tmp/wcet_profile.txt
+wz_dir="$(mktemp -d)"
+./target/release/fuzz --seed 0xF00D --iterations 64 --round 32 \
+    --check-wcet --jobs 2 >"$wz_dir/j2.txt"
+./target/release/fuzz --seed 0xF00D --iterations 64 --round 32 \
+    --check-wcet --jobs 1 >"$wz_dir/j1.txt"
+cmp "$wz_dir/j1.txt" "$wz_dir/j2.txt"
+grep -q 'result: CLEAN' "$wz_dir/j1.txt"
+rm -rf "$wz_dir" /tmp/wcet_overflow.txt /tmp/wcet_profile.txt
+echo "wcet gate passed"
+
 echo "==> pipeline fast-path gate: cached vs uncached byte-identical"
 # The predecoded-block fast path may only change wall time: a stock engine
 # workload on the full SoC must produce the same cycles, events, bus
@@ -207,8 +239,11 @@ for f in crates/common crates/mcds crates/obs crates/analyze crates/fleet \
     fi
 done
 # The profile data model rides inside audo-obs (covered above); the
-# operator-facing CLI binaries must at least open with module docs.
-for f in crates/obs/src/profile.rs crates/bench/src/bin/profile.rs; do
+# WCET analyzer modules and the operator-facing CLI binaries must at
+# least open with module docs.
+for f in crates/obs/src/profile.rs crates/bench/src/bin/profile.rs \
+         crates/analyze/src/wcet.rs crates/analyze/src/loopbound.rs \
+         crates/bench/src/bin/analyze.rs; do
     if ! head -1 "$f" | grep -q '^//!'; then
         echo "missing module docs (//!): $f" >&2
         exit 1

@@ -1,0 +1,159 @@
+; Crafted CSA-overflow image: a 50-deep non-recursive call chain
+; against the platform's 48-frame CSA free list. The static analyzer
+; must report CSA-OVERFLOW and exit 2 (scripts/ci.sh pins this).
+.org 0x80000000
+_start:
+    la sp, 0xD0004000
+    call f1
+    debug 10
+    halt
+f1:
+    call f2
+    ret
+f2:
+    call f3
+    ret
+f3:
+    call f4
+    ret
+f4:
+    call f5
+    ret
+f5:
+    call f6
+    ret
+f6:
+    call f7
+    ret
+f7:
+    call f8
+    ret
+f8:
+    call f9
+    ret
+f9:
+    call f10
+    ret
+f10:
+    call f11
+    ret
+f11:
+    call f12
+    ret
+f12:
+    call f13
+    ret
+f13:
+    call f14
+    ret
+f14:
+    call f15
+    ret
+f15:
+    call f16
+    ret
+f16:
+    call f17
+    ret
+f17:
+    call f18
+    ret
+f18:
+    call f19
+    ret
+f19:
+    call f20
+    ret
+f20:
+    call f21
+    ret
+f21:
+    call f22
+    ret
+f22:
+    call f23
+    ret
+f23:
+    call f24
+    ret
+f24:
+    call f25
+    ret
+f25:
+    call f26
+    ret
+f26:
+    call f27
+    ret
+f27:
+    call f28
+    ret
+f28:
+    call f29
+    ret
+f29:
+    call f30
+    ret
+f30:
+    call f31
+    ret
+f31:
+    call f32
+    ret
+f32:
+    call f33
+    ret
+f33:
+    call f34
+    ret
+f34:
+    call f35
+    ret
+f35:
+    call f36
+    ret
+f36:
+    call f37
+    ret
+f37:
+    call f38
+    ret
+f38:
+    call f39
+    ret
+f39:
+    call f40
+    ret
+f40:
+    call f41
+    ret
+f41:
+    call f42
+    ret
+f42:
+    call f43
+    ret
+f43:
+    call f44
+    ret
+f44:
+    call f45
+    ret
+f45:
+    call f46
+    ret
+f46:
+    call f47
+    ret
+f47:
+    call f48
+    ret
+f48:
+    call f49
+    ret
+f49:
+    call f50
+    ret
+f50:
+    addi d4, d4, 1
+    ret

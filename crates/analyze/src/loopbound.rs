@@ -18,9 +18,14 @@
 //!   constant, decremented only by the `LOOP` itself.
 //! * `ADDI dN, dN, -1; ...; JNZ dN, header` — a software decrement
 //!   counter, decremented exactly once per iteration and written by
-//!   nothing else in the loop.
+//!   nothing else in the loop. "Once per iteration" is proven
+//!   structurally: the decrement's block must lie on *every* header→latch
+//!   path (a decrement behind a conditional branch can be skipped, so the
+//!   loop need never terminate) and on *no* cycle of the loop body (a
+//!   decrement inside an inner loop can step the counter past zero and
+//!   wrap through 2^32). Either obstruction yields `Unbounded`.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use audo_tricore::isa::{Instr, RegRef};
 
@@ -319,6 +324,7 @@ fn trip_of(
             // step has no provable bound here).
             let mut decrements = 0usize;
             let mut other_writes = 0usize;
+            let mut dec_block: Option<u32> = None;
             for &b in scc {
                 for s in &cfg.blocks[&b].instrs {
                     match s.instr {
@@ -328,6 +334,7 @@ fn trip_of(
                             imm: -1,
                         } if rd == ra && src == ra => {
                             decrements += 1;
+                            dec_block = Some(b);
                         }
                         ref i if writes_reg(i, RegRef::D(ra.0)) => other_writes += 1,
                         _ => {}
@@ -336,6 +343,24 @@ fn trip_of(
             }
             if decrements != 1 || other_writes != 0 {
                 return TripBound::Unbounded("counter-clobbered");
+            }
+            // The decrement must run exactly once per iteration. In the
+            // header it runs each time the loop does; in the latch it sits
+            // straight-line before the `jnz`, so every continuing
+            // iteration decrements once and tests immediately (a monotone
+            // -1 tested after each step cannot skip zero). Anywhere else,
+            // prove it structurally: on every header→latch path (or an
+            // iteration can skip it and the counter never reaches zero)
+            // and on no cycle of the loop body (or an iteration can
+            // decrement repeatedly, stepping past zero and wrapping).
+            let dec_block = dec_block.expect("exactly one decrement");
+            if dec_block != header && dec_block != latch {
+                if path_avoiding(preds, scc, header, latch, dec_block) {
+                    return TripBound::Unbounded("conditional-decrement");
+                }
+                if on_body_cycle(preds, scc, header, latch, dec_block) {
+                    return TripBound::Unbounded("repeated-decrement");
+                }
             }
             RegRef::D(ra.0)
         }
@@ -373,6 +398,67 @@ fn trip_of(
     } else {
         TripBound::Unbounded("trip-out-of-range")
     }
+}
+
+/// `true` when some header→latch path through the loop body avoids
+/// `avoid`: searches backward from the latch over intra-SCC predecessor
+/// edges, never entering `avoid`, until the header is found. The back
+/// edge is never traversed because the search stops at the header
+/// instead of expanding it. No removed ancestor back edge connects two
+/// blocks of a peeled inner SCC (peeling breaks the only cycle through
+/// an ancestor header), so filtering the global predecessor map by SCC
+/// membership is exact here.
+fn path_avoiding(
+    preds: &BTreeMap<u32, Vec<u32>>,
+    scc: &BTreeSet<u32>,
+    header: u32,
+    latch: u32,
+    avoid: u32,
+) -> bool {
+    let empty = Vec::new();
+    let mut seen = BTreeSet::from([latch]);
+    let mut queue = VecDeque::from([latch]);
+    while let Some(x) = queue.pop_front() {
+        for &p in preds.get(&x).unwrap_or(&empty) {
+            if p == header {
+                return true;
+            }
+            if scc.contains(&p) && p != avoid && seen.insert(p) {
+                queue.push_back(p);
+            }
+        }
+    }
+    false
+}
+
+/// `true` when `node` lies on a cycle of the loop body (the SCC minus
+/// its `latch`→`header` back edge): searches backward from `node` over
+/// intra-SCC predecessor edges, skipping the back edge, for a path that
+/// returns to `node`.
+fn on_body_cycle(
+    preds: &BTreeMap<u32, Vec<u32>>,
+    scc: &BTreeSet<u32>,
+    header: u32,
+    latch: u32,
+    node: u32,
+) -> bool {
+    let empty = Vec::new();
+    let mut seen = BTreeSet::from([node]);
+    let mut queue = VecDeque::from([node]);
+    while let Some(x) = queue.pop_front() {
+        for &p in preds.get(&x).unwrap_or(&empty) {
+            if x == header && p == latch {
+                continue;
+            }
+            if p == node {
+                return true;
+            }
+            if scc.contains(&p) && seen.insert(p) {
+                queue.push_back(p);
+            }
+        }
+    }
+    false
 }
 
 /// Discovers every loop (outermost first, then peeled inner loops) over
@@ -535,6 +621,87 @@ head:
         );
         assert_eq!(loops.len(), 1);
         assert_eq!(loops[0].trip, TripBound::Unbounded("counter-clobbered"));
+    }
+
+    #[test]
+    fn conditional_decrement_is_not_certified() {
+        // The decrement is guarded by a data-dependent branch: iterations
+        // that take the `jz` skip it, so the counter need never reach
+        // zero and the loop can run forever. Must NOT be Exact(4).
+        let loops = forest(
+            "
+    .org 0x80000000
+_start:
+    la a2, 0xd0000400
+    li d2, 4
+head:
+    ld.w d0, [a2]
+    jz d0, skip
+    addi d2, d2, -1
+skip:
+    jnz d2, head
+    halt
+",
+        );
+        assert_eq!(loops.len(), 1, "{loops:?}");
+        assert_eq!(loops[0].trip, TripBound::Unbounded("conditional-decrement"));
+    }
+
+    #[test]
+    fn decrement_inside_inner_loop_is_not_certified() {
+        // The outer counter is decremented twice per outer iteration (the
+        // inner loop runs twice): from 3 it steps 3 → 1 → -1 → ... and
+        // wraps through 2^32 without ever being zero at the outer test.
+        // The inner loop itself stays provable.
+        let loops = forest(
+            "
+    .org 0x80000000
+_start:
+    li d2, 3
+outer:
+    li d3, 2
+inner:
+    addi d2, d2, -1
+    addi d3, d3, -1
+    jnz d3, inner
+    jnz d2, outer
+    halt
+",
+        );
+        assert_eq!(loops.len(), 2, "{loops:?}");
+        let outer = loops.iter().find(|l| l.depth == 0).expect("outer");
+        let inner = loops.iter().find(|l| l.depth == 1).expect("inner");
+        assert_eq!(outer.trip, TripBound::Unbounded("repeated-decrement"));
+        assert_eq!(inner.trip, TripBound::Exact(2));
+    }
+
+    #[test]
+    fn decrement_on_every_path_is_certified() {
+        // The decrement sits in an interior body block (neither header
+        // nor latch — branches diverge before it and after it), but both
+        // arms rejoin at it: every iteration decrements exactly once, so
+        // the exact trip is still provable.
+        let loops = forest(
+            "
+    .org 0x80000000
+_start:
+    la a2, 0xd0000400
+    li d2, 8
+head:
+    ld.w d0, [a2]
+    jz d0, join
+    nop
+join:
+    addi d2, d2, -1
+    jz d0, tail
+    nop
+tail:
+    jnz d2, head
+    halt
+",
+        );
+        assert_eq!(loops.len(), 1, "{loops:?}");
+        assert_eq!(loops[0].trip, TripBound::Exact(8));
     }
 
     #[test]

@@ -371,7 +371,13 @@ impl Analyzer<'_> {
         }
         let cfg = self.cfg;
         let nodes = reach(&self.adj, entry);
-        let mut depth = Bound::Finite(0);
+        // An entry the CFG never decoded has no claimable depth — mirror
+        // `func_wcet`, never report a confident 0.
+        let mut depth = if nodes.is_empty() {
+            Bound::Unbounded("no-blocks")
+        } else {
+            Bound::Finite(0)
+        };
         for &b in &nodes {
             let block = &cfg.blocks[&b];
             if block
@@ -967,6 +973,22 @@ _start:
         assert_eq!(r.program_wcet, Bound::Unbounded("interrupt-driven"));
         // Main chain 0 frames + one nested activation of the vector.
         assert_eq!(r.program_csa, Bound::Finite(1));
+    }
+
+    #[test]
+    fn undecodable_entry_claims_no_csa_depth() {
+        // The entry root is pure data: the CFG decodes no block there, so
+        // neither bound may claim anything — in particular the CSA depth
+        // must not be a confident 0.
+        let r = report(
+            "
+    .org 0x80000000
+_start:
+    .word 0xffffffff, 0xffffffff
+",
+        );
+        assert_eq!(r.program_wcet, Bound::Unbounded("no-blocks"));
+        assert_eq!(r.program_csa, Bound::Unbounded("no-blocks"));
     }
 
     #[test]
